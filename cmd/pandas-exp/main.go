@@ -1,0 +1,121 @@
+// Command pandas-exp runs the full evaluation suite — every table and
+// figure of the paper — at a configurable scale and prints the results as
+// one report (the source of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	pandas-exp                     # moderate scale, full geometry
+//	pandas-exp -nodes 1000 -slots 10   # the paper's testbed scale
+//	pandas-exp -small              # scaled-down geometry (smoke test)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pandas/internal/core"
+	"pandas/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pandas-exp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pandas-exp", flag.ContinueOnError)
+	var (
+		nodes  = fs.Int("nodes", 500, "network size for the per-figure runs")
+		slots  = fs.Int("slots", 2, "slots aggregated per experiment")
+		seed   = fs.Int64("seed", 1, "random seed")
+		small  = fs.Bool("small", false, "use the scaled-down 32x32 geometry")
+		sweep  = fs.String("sweep", "", "comma-separated sizes for the scaling figures (default: nodes/2,nodes)")
+		faults = fs.Bool("faults", true, "run the fault sweeps (fig15)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := experiments.Options{Nodes: *nodes, Slots: *slots, Seed: *seed}
+	if *small {
+		o.Core = core.TestConfig()
+	} else {
+		o.Core = core.DefaultConfig()
+	}
+	sizes := parseSizes(*sweep)
+	if len(sizes) == 0 {
+		sizes = []int{*nodes / 2, *nodes}
+	}
+
+	type step struct {
+		name string
+		run  func() (interface{ Render() string }, error)
+	}
+	steps := []step{
+		{"confidence", func() (interface{ Render() string }, error) {
+			return experiments.Confidence(o.Core.Blob.N(), nil, 20000, *seed), nil
+		}},
+		{"fig9", func() (interface{ Render() string }, error) { return experiments.Fig9(o) }},
+		{"fig10", func() (interface{ Render() string }, error) { return experiments.Fig10(o) }},
+		{"table1", func() (interface{ Render() string }, error) { return experiments.Table1(o) }},
+		{"fig11", func() (interface{ Render() string }, error) { return experiments.Fig11(o) }},
+		{"fig12", func() (interface{ Render() string }, error) { return experiments.Fig12(o) }},
+		{"fig13", func() (interface{ Render() string }, error) { return experiments.Fig13(o, sizes) }},
+		{"fig14", func() (interface{ Render() string }, error) { return experiments.Fig14(o, sizes) }},
+	}
+	if *faults {
+		steps = append(steps,
+			step{"fig15a", func() (interface{ Render() string }, error) {
+				return experiments.Fig15(o, experiments.FaultDead, nil)
+			}},
+			step{"fig15b", func() (interface{ Render() string }, error) {
+				return experiments.Fig15(o, experiments.FaultOutOfView, nil)
+			}},
+		)
+	}
+	steps = append(steps, step{"validate", func() (interface{ Render() string }, error) {
+		// The real data plane erasure-codes actual bytes; at the full
+		// 512x512 geometry a single blob extension is minutes of CPU, so
+		// the cross-validation always runs on the scaled-down geometry
+		// (identical code paths).
+		vo := o
+		vo.Core = core.TestConfig()
+		if vo.Nodes > 200 {
+			vo.Nodes = 200
+		}
+		return experiments.Validate(vo)
+	}})
+
+	fmt.Printf("PANDAS evaluation suite — %d nodes, %d slots, geometry %dx%d\n\n",
+		o.Nodes, o.Slots, o.Core.Blob.N(), o.Core.Blob.N())
+	for _, st := range steps {
+		start := time.Now()
+		res, err := st.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", st.name, err)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("[%s completed in %v]\n\n", st.name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func parseSizes(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	var v int
+	for _, r := range s + "," {
+		if r >= '0' && r <= '9' {
+			v = v*10 + int(r-'0')
+		} else if v > 0 {
+			out = append(out, v)
+			v = 0
+		}
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got := parseSizes("150,300")
+	if len(got) != 2 || got[0] != 150 || got[1] != 300 {
+		t.Fatalf("got %v", got)
+	}
+	if parseSizes("") != nil {
+		t.Fatal("empty should be nil")
+	}
+}
+
+func TestRunSmokeSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole reduced suite")
+	}
+	err := run([]string{"-small", "-nodes", "60", "-slots", "1", "-sweep", "50,60", "-faults=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Command pandas-node runs a real PANDAS participant over UDP. Multiple
+// processes (on one machine or a LAN) form a deployment: every process
+// gets the same peers file (one host:port per line; the LAST entry is
+// the builder) and its own index. The process with -builder seeds a blob
+// each slot; the others custody, consolidate, and sample it.
+//
+// Example, a four-node deployment plus builder in five shells:
+//
+//	pandas-node -peers peers.txt -index 0
+//	pandas-node -peers peers.txt -index 1
+//	pandas-node -peers peers.txt -index 2
+//	pandas-node -peers peers.txt -index 3
+//	pandas-node -peers peers.txt -index 4 -builder -slots 3
+//
+// For a self-contained single-process demo, see examples/localnet.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pandas/internal/assign"
+	"pandas/internal/blob"
+	"pandas/internal/core"
+	"pandas/internal/ids"
+	"pandas/internal/transport"
+	"pandas/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pandas-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pandas-node", flag.ContinueOnError)
+	var (
+		peersFile = fs.String("peers", "", "file listing host:port per participant; last entry is the builder")
+		index     = fs.Int("index", -1, "this process's index into the peers file")
+		builder   = fs.Bool("builder", false, "act as the builder (must be the last index)")
+		slots     = fs.Int("slots", 1, "number of slots the builder drives")
+		seed      = fs.Int64("seed", 42, "shared deployment seed (must match on all processes)")
+		k         = fs.Int("k", 8, "base matrix size K (extended is 2K x 2K)")
+		custody   = fs.Int("custody", 4, "rows and columns per node")
+		samples   = fs.Int("samples", 6, "random cells sampled per slot")
+		slotGap   = fs.Duration("slot-gap", 12*time.Second, "time between slots")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *peersFile == "" || *index < 0 {
+		return fmt.Errorf("both -peers and -index are required")
+	}
+	addrs, err := readPeers(*peersFile)
+	if err != nil {
+		return err
+	}
+	if *index >= len(addrs) {
+		return fmt.Errorf("index %d out of range (%d peers)", *index, len(addrs))
+	}
+	nNodes := len(addrs) - 1 // last entry is the builder
+
+	cfg := core.DefaultConfig()
+	cfg.Blob = blob.Params{K: *k, CellBytes: 64, ProofBytes: 48}
+	cfg.Assign = assign.Params{Rows: *custody, Cols: *custody, N: cfg.Blob.N()}
+	cfg.Samples = *samples
+	cfg.RealPayloads = true
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	// Deterministic shared identities: every process derives the same
+	// table from the seed, mirroring an ENR crawl that has converged.
+	nodeIDs := make([]ids.NodeID, nNodes)
+	for i := range nodeIDs {
+		nodeIDs[i] = ids.NewTestIdentity(*seed<<16 + int64(i)).ID
+	}
+	var epochSeed assign.Seed
+	epochSeed[0] = byte(*seed)
+	table, err := core.NewTable(cfg.Assign, epochSeed, nodeIDs)
+	if err != nil {
+		return err
+	}
+
+	ep, err := transport.NewUDP(*index, addrs[*index], cfg.Blob.CellBytes)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	if err := ep.SetPeers(addrs); err != nil {
+		return err
+	}
+	fmt.Printf("pandas-node %d listening on %s (%d peers)\n", *index, ep.Addr(), len(addrs))
+
+	proposer := ids.NewTestIdentity(*seed<<16 + 999)
+
+	if *builder {
+		b := core.NewBuilder(cfg, *index, ids.NewTestIdentity(*seed<<16+int64(nNodes)+3).ID, table, ep, *seed+5)
+		b.SetProposerSigner(func(slot uint64) [wire.SigSize]byte {
+			var sig [wire.SigSize]byte
+			copy(sig[:], proposer.Sign(wire.SeedSigningBytes(slot, ids.NewTestIdentity(*seed<<16+int64(nNodes)+3).ID)))
+			return sig
+		})
+		data := make([]byte, cfg.Blob.BlobBytes())
+		for i := range data {
+			data[i] = byte(i*131 + 7)
+		}
+		if err := b.PrepareBlob(data); err != nil {
+			return err
+		}
+		ep.Start(func(from, size int, payload any) {})
+		for s := uint64(1); s <= uint64(*slots); s++ {
+			s := s
+			done := make(chan struct{})
+			ep.Run(func() {
+				report := b.SeedSlot(s)
+				fmt.Printf("slot %d: seeded %d cells in %d messages (%d KB) to %d nodes\n",
+					s, report.Cells, report.Messages, report.Bytes/1024, report.NodesSeeded)
+				close(done)
+			})
+			<-done
+			if s < uint64(*slots) {
+				time.Sleep(*slotGap)
+			}
+		}
+		// Give responses time to drain before exiting.
+		time.Sleep(2 * time.Second)
+		return nil
+	}
+
+	node := core.NewNode(cfg, *index, table, ep, *seed^int64(*index*7919))
+	node.SetSeedVerification(proposer.Public)
+	ep.Start(func(from, size int, payload any) {
+		node.HandleMessage(from, size, payload)
+	})
+	slot := uint64(1)
+	startSlot := func(s uint64) {
+		done := make(chan struct{})
+		ep.Run(func() { node.StartSlot(s); close(done) })
+		<-done
+	}
+	startSlot(slot)
+	fmt.Printf("node %d ready: custody %v, sampling %d cells per slot\n",
+		*index, table.Assignment(*index).Lines(), cfg.Samples)
+
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for range ticker.C {
+		status := make(chan string, 1)
+		ep.Run(func() {
+			m := node.Metrics
+			status <- fmt.Sprintf("slot %d: seed=%v consolidated=%v sampled=%v",
+				slot, m.HasSeed, m.Consolidated, m.Sampled)
+			if m.Sampled && m.Consolidated {
+				slot++
+				node.StartSlot(slot)
+			}
+		})
+		fmt.Println(<-status)
+	}
+	return nil
+}
+
+func readPeers(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return out, sc.Err()
+}

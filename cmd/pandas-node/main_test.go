@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadPeers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "peers.txt")
+	content := "# comment\n127.0.0.1:9000\n\n127.0.0.1:9001\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readPeers(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "127.0.0.1:9000" || got[1] != "127.0.0.1:9001" {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := readPeers(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunValidatesFlags(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "peers.txt")
+	os.WriteFile(path, []byte("127.0.0.1:9000\n"), 0o644)
+	if err := run([]string{"-peers", path, "-index", "5"}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}

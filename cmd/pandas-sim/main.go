@@ -1,0 +1,189 @@
+// Command pandas-sim runs one of the paper's evaluation experiments and
+// prints the corresponding table/figure data.
+//
+// Usage:
+//
+//	pandas-sim -exp fig9  -nodes 1000 -slots 10
+//	pandas-sim -exp fig13 -sizes 1000,3000,5000
+//	pandas-sim -exp table1 -nodes 1000
+//	pandas-sim -exp confidence
+//	pandas-sim -list
+//
+// The default parameters are the paper's full Danksharding configuration
+// (512x512 extended matrix); use -small for the scaled-down geometry when
+// exploring on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"pandas/internal/core"
+	"pandas/internal/experiments"
+	"pandas/internal/metrics"
+)
+
+type renderer interface{ Render() string }
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pandas-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pandas-sim", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "", "experiment: fig9 fig10 table1 fig11 fig12 fig13 fig14 fig15a fig15b ablation validate confidence")
+		nodes  = fs.Int("nodes", 1000, "network size")
+		slots  = fs.Int("slots", 10, "slots to aggregate")
+		seed   = fs.Int64("seed", 1, "random seed")
+		small  = fs.Bool("small", false, "use the scaled-down 32x32 geometry (fast)")
+		sizes  = fs.String("sizes", "", "comma-separated sizes for fig13/fig14 (default paper sizes)")
+		fracs  = fs.String("fractions", "", "comma-separated fault fractions for fig15 (default 0,0.2,...,0.8)")
+		list   = fs.Bool("list", false, "list experiments and exit")
+		csvDir = fs.String("csv", "", "also write sampling CDF CSVs into this directory (fig9/fig11/fig12)")
+		trials = fs.Int("trials", 20000, "Monte Carlo trials for confidence")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(`experiments:
+  fig9        phase-time distributions per seeding policy (Fig. 9a-d)
+  fig10       per-node fetch traffic per policy (Fig. 10)
+  table1      per-round fetching statistics (Table 1)
+  fig11       adaptive vs constant fetching (Fig. 11)
+  fig12       PANDAS vs GossipSub vs DHT at one scale (Fig. 12)
+  fig13       PANDAS scaling sweep (Fig. 13)
+  fig14       system comparison across scales (Fig. 14)
+  fig15a      dead-node sweep (Fig. 15a)
+  fig15b      out-of-view sweep (Fig. 15b)
+  ablation    builder seeding-redundancy sweep (design knob, paper 9)
+  validate    metadata vs real data plane cross-validation (8.2)
+  confidence  sampling false-positive analysis (Section 3)`)
+		return nil
+	}
+	o := experiments.Options{Nodes: *nodes, Slots: *slots, Seed: *seed, LossRate: -0}
+	if *small {
+		o.Core = core.TestConfig()
+	} else {
+		o.Core = core.DefaultConfig()
+	}
+
+	var (
+		res renderer
+		err error
+	)
+	switch *exp {
+	case "fig9":
+		res, err = experiments.Fig9(o)
+	case "fig10":
+		res, err = experiments.Fig10(o)
+	case "table1":
+		res, err = experiments.Table1(o)
+	case "fig11":
+		res, err = experiments.Fig11(o)
+	case "fig12":
+		res, err = experiments.Fig12(o)
+	case "fig13":
+		res, err = experiments.Fig13(o, parseSizes(*sizes))
+	case "fig14":
+		res, err = experiments.Fig14(o, parseSizes(*sizes))
+	case "fig15a":
+		res, err = experiments.Fig15(o, experiments.FaultDead, parseFracs(*fracs))
+	case "fig15b":
+		res, err = experiments.Fig15(o, experiments.FaultOutOfView, parseFracs(*fracs))
+	case "validate":
+		res, err = experiments.Validate(o)
+	case "ablation":
+		res, err = experiments.Ablation(o, parseSizes(*sizes))
+	case "confidence":
+		res = experiments.Confidence(o.Core.Blob.N(), nil, *trials, *seed)
+	case "":
+		return fmt.Errorf("missing -exp (use -list to enumerate)")
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, *exp, res); err != nil {
+			return fmt.Errorf("write csv: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeCSVs exports plottable sampling CDFs for the figure experiments.
+func writeCSVs(dir, exp string, res renderer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, d *metrics.Distribution) error {
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return d.WriteCDFCSV(f, 100)
+	}
+	switch r := res.(type) {
+	case *experiments.Fig9Result:
+		for _, p := range r.Policies {
+			if err := write(exp+"-sampling-"+p.String(), r.PerPhase[p].Sampling); err != nil {
+				return err
+			}
+		}
+		if r.Block != nil {
+			return write(exp+"-block", r.Block)
+		}
+	case *experiments.Fig11Result:
+		if err := write(exp+"-adaptive", r.AdaptiveSampling); err != nil {
+			return err
+		}
+		return write(exp+"-constant", r.ConstantSampling)
+	case *experiments.Fig12Result:
+		for sys, sr := range r.Systems {
+			if err := write(exp+"-"+string(sys), sr.Sampling); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func parseSizes(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err == nil && v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func parseFracs(s string) []float64 {
+	if s == "" {
+		return nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err == nil && v >= 0 && v < 1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseSizes(t *testing.T) {
+	got := parseSizes("100, 200,bogus, -3,300")
+	want := []int{100, 200, 300}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if parseSizes("") != nil {
+		t.Fatal("empty should be nil")
+	}
+}
+
+func TestParseFracs(t *testing.T) {
+	got := parseFracs("0, 0.2, 1.5, -1, 0.8")
+	want := []float64{0, 0.2, 0.8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope", "-small"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-small"}); err == nil {
+		t.Fatal("missing experiment accepted")
+	}
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list failed: %v", err)
+	}
+}
+
+func TestRunConfidenceSmall(t *testing.T) {
+	if err := run([]string{"-exp", "confidence", "-small", "-trials", "200"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "fig11", "-small", "-nodes", "60", "-slots", "1", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig11-adaptive.csv", "fig11-constant.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Fatalf("missing %s: %v", want, err)
+		}
+	}
+}

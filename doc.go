@@ -1,0 +1,53 @@
+// Package pandas is a from-scratch Go implementation of PANDAS
+// (Peer-to-peer, Adaptive Networking allowing Data Availability Sampling
+// within Ethereum consensus timebounds, Middleware 2025): a protocol that
+// disseminates erasure-extended layer-2 blob data and verifies its
+// availability by random sampling, all within the first four seconds of
+// an Ethereum consensus slot (the tight fork-choice rule).
+//
+// # Architecture
+//
+// The protocol proceeds in three phases per 12-second slot:
+//
+//  1. Seeding: the slot's builder pushes parcels of the 512x512
+//     erasure-extended cell matrix directly (UDP, one hop) to the nodes
+//     deterministically assigned to custody each row and column.
+//  2. Consolidation: every node fetches its assigned rows and columns
+//     from peers with overlapping assignments, reconstructing lines from
+//     any half of their cells with the rate-1/2 Reed-Solomon code.
+//  3. Sampling: concurrently, every node retrieves 73 random cells;
+//     success implies the blob is reconstructable with probability
+//     1 - 1e-9.
+//
+// Both consolidation and sampling share an adaptive fetching algorithm
+// that grows query redundancy and shrinks timeouts as the 4-second
+// deadline approaches.
+//
+// This package is the public facade. The implementation lives in
+// internal packages: the protocol (internal/core), its substrates
+// (erasure coding, assignment, commitments, wire formats, a
+// discrete-event network simulator, a real UDP transport, Kademlia and
+// GossipSub overlays for the paper's baselines), and the experiment
+// harness regenerating every table and figure of the paper's evaluation
+// (internal/experiments). See DESIGN.md for the full inventory and
+// EXPERIMENTS.md for reproduction results.
+//
+// # Quick start
+//
+// Simulate a 1,000-node slot:
+//
+//	cluster, err := pandas.NewCluster(pandas.ClusterConfig{
+//		Core: pandas.DefaultConfig(),
+//		N:    1000,
+//		Seed: 1,
+//	})
+//	if err != nil { ... }
+//	res, err := cluster.RunSlot(1)
+//	fmt.Println(res.DeadlineRate(4 * time.Second)) // fraction sampling on time
+//
+// Or run a real slot over loopback UDP sockets with full payloads,
+// commitments, and signatures:
+//
+//	ln, err := pandas.NewLocalnet(cfg, 16, seed)
+//	times, err := ln.RunSlot(1, 8*time.Second)
+package pandas

@@ -1,0 +1,3 @@
+module pandas
+
+go 1.22

@@ -1,0 +1,185 @@
+package baseline
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"time"
+
+	"pandas/internal/blob"
+	"pandas/internal/dht"
+	"pandas/internal/ids"
+	"pandas/internal/simnet"
+)
+
+// ParcelCells is the number of adjacent cells per DHT parcel (the paper
+// flattens the matrix and splits it into 64-cell parcels).
+const ParcelCells = 64
+
+// Retry pacing for GETs that miss: the parcel may not be stored yet
+// early in the slot (the builder's 4,096 PUTs take seconds), so retries
+// back off exponentially to avoid a congestion spiral of full iterative
+// lookups.
+const (
+	dhtRetryDelay    = 300 * time.Millisecond
+	dhtRetryBackoff  = 1.6
+	dhtRetryDelayMax = 2 * time.Second
+)
+
+// parcelKey derives the DHT key of a parcel.
+func parcelKey(slot uint64, parcel int) ids.NodeID {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], slot)
+	binary.BigEndian.PutUint64(buf[8:], uint64(parcel))
+	return sha256.Sum256(buf[:])
+}
+
+// parcelOf maps a cell to its parcel index (row-major flattening).
+func parcelOf(id blob.CellID, n int) int {
+	return id.Index(n) / ParcelCells
+}
+
+// DHTCluster runs DAS over a Kademlia DHT: the builder PUTs every 64-cell
+// parcel (replicated at the 8 closest peers), and sampling nodes GET the
+// parcels containing their random cells through iterative multi-hop
+// routing. There is no consolidation phase.
+type DHTCluster struct {
+	cfg    Config
+	net    *simnet.Network
+	peers  []*dht.Peer
+	bPeer  *dht.Peer
+	bIndex int
+
+	// Per-slot sampling state.
+	sampleDone []time.Duration
+}
+
+// NewDHTCluster builds the DHT-DAS deployment: N peers plus the builder,
+// all bootstrapped with the full peer list (a well-crawled network).
+func NewDHTCluster(cfg Config) (*DHTCluster, error) {
+	cfg.fill()
+	if err := cfg.Core.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := simnet.New(simnet.Config{
+		Latency:  cfg.Latency,
+		LossRate: cfg.LossRate,
+		Seed:     cfg.Seed,
+		MinDelay: time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &DHTCluster{cfg: cfg, net: net}
+	entries := make([]dht.Entry, cfg.N+1)
+	for i := 0; i <= cfg.N; i++ {
+		entries[i] = dht.Entry{ID: ids.NewTestIdentity(cfg.Seed<<20 + int64(i)).ID, Addr: i}
+	}
+	d.peers = make([]*dht.Peer, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		i := i
+		net.AddNode(func(from, size int, payload any) {
+			d.peers[i].HandleMessage(from, payload)
+		}, simnet.NodeBandwidth, simnet.NodeBandwidth)
+		d.peers[i] = dht.NewPeer(entries[i], dhtTransport{net: net, self: i}, 0)
+		d.peers[i].Bootstrap(entries)
+	}
+	d.bIndex = net.AddNode(func(from, size int, payload any) {
+		d.bPeer.HandleMessage(from, payload)
+	}, simnet.BuilderBandwidth, simnet.BuilderBandwidth)
+	d.bPeer = dht.NewPeer(entries[cfg.N], dhtTransport{net: net, self: d.bIndex}, 0)
+	d.bPeer.Bootstrap(entries)
+	return d, nil
+}
+
+type dhtTransport struct {
+	net  *simnet.Network
+	self int
+}
+
+func (t dhtTransport) Self() int                        { return t.self }
+func (t dhtTransport) Send(to, size int, payload any)   { t.net.Send(t.self, to, size, payload) }
+func (t dhtTransport) After(d time.Duration, fn func()) { t.net.After(d, fn) }
+func (t dhtTransport) Now() time.Duration               { return t.net.Now() }
+
+// RunSlot stores all parcels and samples them from every node.
+func (d *DHTCluster) RunSlot(slot uint64) (*Result, error) {
+	start := d.net.Now()
+	cfg := d.cfg.Core
+	n := cfg.Blob.N()
+	totalParcels := (cfg.Blob.ExtendedCells() + ParcelCells - 1) / ParcelCells
+	parcelBytes := ParcelCells * cfg.Blob.CellWireBytes()
+
+	// Builder: PUT every parcel at slot start. dht.Put replicates at the
+	// Replication (8) closest peers, matching the paper's "eight put
+	// operations per parcel" budget.
+	d.net.After(0, func() {
+		for p := 0; p < totalParcels; p++ {
+			d.bPeer.Put(parcelKey(slot, p), parcelBytes, p, func(int) {})
+		}
+	})
+
+	// Samplers: each node derives the parcels covering its random cells
+	// and GETs them, retrying misses until the slot ends.
+	d.sampleDone = make([]time.Duration, d.cfg.N)
+	remaining := make([]int, d.cfg.N)
+	for i := 0; i < d.cfg.N; i++ {
+		d.sampleDone[i] = -1
+		node := i
+		rng := newSplitMix(uint64(d.cfg.Seed) ^ uint64(node)*0x9E3779B97F4A7C15)
+		need := map[int]bool{}
+		for len(need) < cfg.Samples {
+			idx := int(rng.next() % uint64(cfg.Blob.ExtendedCells()))
+			need[parcelOf(blob.CellIDFromIndex(idx, n), n)] = true
+		}
+		remaining[node] = len(need)
+		for p := range need {
+			p := p
+			delay := dhtRetryDelay
+			var attempt func()
+			attempt = func() {
+				d.peers[node].Get(parcelKey(slot, p), func(dht.GetResp) {
+					remaining[node]--
+					if remaining[node] == 0 {
+						d.sampleDone[node] = d.net.Now() - start
+					}
+				}, func() {
+					// Not stored yet (or routed poorly): retry with
+					// exponential backoff until the slot runs out.
+					if d.net.Now()-start < 12*time.Second-delay {
+						d.net.After(delay, attempt)
+						delay = time.Duration(float64(delay) * dhtRetryBackoff)
+						if delay > dhtRetryDelayMax {
+							delay = dhtRetryDelayMax
+						}
+					}
+				})
+			}
+			d.net.After(0, attempt)
+		}
+	}
+
+	d.net.Run(start + 12*time.Second)
+
+	res := &Result{BuilderBytes: d.net.Stats(d.bIndex).BytesSent}
+	for i := 0; i < d.cfg.N; i++ {
+		res.Sampling = append(res.Sampling, d.sampleDone[i])
+		st := d.net.Stats(i)
+		res.MsgsPerNode = append(res.MsgsPerNode, st.TotalMsgs())
+		res.BytesPerNode = append(res.BytesPerNode, st.TotalBytes())
+	}
+	d.net.ResetStats()
+	return res, nil
+}
+
+// splitMix is a tiny deterministic generator for sample selection.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

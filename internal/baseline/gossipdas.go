@@ -1,0 +1,264 @@
+// Package baseline implements the two alternative DAS designs PANDAS is
+// compared against in Section 8: dissemination over GossipSub topic
+// meshes, and storage/retrieval through the Kademlia DHT. Both reuse the
+// same simulator, latency model, cell geometry, and sampling semantics as
+// the PANDAS cluster, so the comparison isolates the dissemination layer.
+package baseline
+
+import (
+	"math/rand"
+	"time"
+
+	"pandas/internal/blob"
+	"pandas/internal/core"
+	"pandas/internal/gossip"
+	"pandas/internal/ids"
+	"pandas/internal/latency"
+	"pandas/internal/simnet"
+	"pandas/internal/wire"
+)
+
+// Result reports a baseline slot: per-node sampling completion (negative
+// = never) and traffic totals from the network layer.
+type Result struct {
+	Sampling     []time.Duration
+	MsgsPerNode  []int
+	BytesPerNode []int64
+	BuilderBytes int64
+}
+
+// DeadlineRate returns the fraction of nodes sampling within deadline.
+func (r *Result) DeadlineRate(deadline time.Duration) float64 {
+	ok := 0
+	for _, s := range r.Sampling {
+		if s >= 0 && s <= deadline {
+			ok++
+		}
+	}
+	if len(r.Sampling) == 0 {
+		return 0
+	}
+	return float64(ok) / float64(len(r.Sampling))
+}
+
+// Config parameterizes a baseline deployment.
+type Config struct {
+	Core     core.Config
+	N        int
+	Seed     int64
+	Latency  simnet.LatencyModel
+	LossRate float64
+}
+
+func (c *Config) fill() {
+	if c.Latency == nil {
+		vertices := c.N + 1
+		if vertices > 10000 {
+			vertices = 10000
+		}
+		c.Latency = latency.NewIPFSLike(c.Seed, vertices)
+	}
+	if c.LossRate < 0 {
+		c.LossRate = simnet.DefaultLossRate
+	}
+}
+
+// custodyChunk is one gossip frame: a batch of cells of one line.
+type custodyChunk struct {
+	id    gossip.MsgID
+	slot  uint64
+	line  blob.Line
+	cells []wire.Cell
+}
+
+func (c *custodyChunk) wireSize(cellBytes int) int {
+	// Comparable framing to a PANDAS response plus the gossip message ID.
+	m := wire.Response{Slot: c.slot, Cells: c.cells}
+	return m.WireSize(cellBytes) + 8
+}
+
+// GossipCluster runs DAS with GossipSub-based dissemination: one topic
+// per row/column, membership = the line's holders, mesh degree 8. The
+// builder injects r copies of every line into its topic; members flood.
+// Explicit consolidation is disabled; sampling works as in PANDAS.
+type GossipCluster struct {
+	cfg      Config
+	net      *simnet.Network
+	table    *core.Table
+	nodes    []*core.Node
+	overlays map[blob.Line]*gossip.Overlay
+	routers  []*gossip.Router
+	bIndex   int
+	rng      *rand.Rand
+	nextMsg  uint64
+}
+
+type simTransport struct {
+	net  *simnet.Network
+	self int
+}
+
+func (s simTransport) Send(to, size int, payload any) { s.net.Send(s.self, to, size, payload) }
+func (s simTransport) SendReliable(to, size int, payload any) {
+	s.net.SendReliable(s.self, to, size, payload)
+}
+func (s simTransport) After(d time.Duration, fn func()) { s.net.After(d, fn) }
+func (s simTransport) Now() time.Duration               { return s.net.Now() }
+
+// NewGossipCluster builds the GossipSub-DAS deployment.
+func NewGossipCluster(cfg Config) (*GossipCluster, error) {
+	cfg.fill()
+	coreCfg := cfg.Core
+	coreCfg.DisableConsolidation = true
+	if err := coreCfg.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := simnet.New(simnet.Config{
+		Latency:  cfg.Latency,
+		LossRate: cfg.LossRate,
+		Seed:     cfg.Seed,
+		MinDelay: time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nodeIDs := make([]ids.NodeID, cfg.N)
+	for i := range nodeIDs {
+		nodeIDs[i] = ids.NewTestIdentity(cfg.Seed<<20 + int64(i)).ID
+	}
+	var seed [32]byte
+	rng.Read(seed[:])
+	table, err := core.NewTable(coreCfg.Assign, seed, nodeIDs)
+	if err != nil {
+		return nil, err
+	}
+	g := &GossipCluster{
+		cfg:      cfg,
+		net:      net,
+		table:    table,
+		overlays: make(map[blob.Line]*gossip.Overlay),
+		rng:      rng,
+	}
+	g.nodes = make([]*core.Node, cfg.N)
+	g.routers = make([]*gossip.Router, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		i := i
+		net.AddNode(func(from, size int, payload any) {
+			g.dispatch(i, from, size, payload)
+		}, simnet.NodeBandwidth, simnet.NodeBandwidth)
+		g.nodes[i] = core.NewNode(coreCfg, i, table, simTransport{net: net, self: i}, cfg.Seed^int64(i*40503))
+		g.routers[i] = gossip.NewRouter(i)
+	}
+	g.bIndex = net.AddNode(nil, simnet.BuilderBandwidth, simnet.BuilderBandwidth)
+
+	// One topic mesh per line over its holders.
+	n := coreCfg.Blob.N()
+	for kind := 0; kind < 2; kind++ {
+		for idx := 0; idx < n; idx++ {
+			l := blob.Line{Kind: blob.Row, Index: uint16(idx)}
+			if kind == 1 {
+				l.Kind = blob.Col
+			}
+			members := table.Holders(l)
+			if len(members) == 0 {
+				continue
+			}
+			g.overlays[l] = gossip.NewOverlay(rng, members, gossip.DefaultDegree)
+		}
+	}
+	return g, nil
+}
+
+func (g *GossipCluster) dispatch(node, from, size int, payload any) {
+	chunk, ok := payload.(*custodyChunk)
+	if !ok {
+		g.nodes[node].HandleMessage(from, size, payload)
+		return
+	}
+	overlay, ok := g.overlays[chunk.line]
+	if !ok {
+		return
+	}
+	fwd, isNew := g.routers[node].Receive(overlay, chunk.id, from)
+	if !isNew {
+		return
+	}
+	for _, peer := range fwd {
+		g.net.Send(node, peer, size, chunk)
+	}
+	g.nodes[node].DeliverCustody(chunk.cells)
+}
+
+// Table exposes the epoch table.
+func (g *GossipCluster) Table() *core.Table { return g.table }
+
+// RunSlot publishes the blob through the topic meshes and measures
+// per-node sampling completion.
+func (g *GossipCluster) RunSlot(slot uint64) (*Result, error) {
+	start := g.net.Now()
+	for _, nd := range g.nodes {
+		nd.StartSlot(slot)
+	}
+	for _, r := range g.routers {
+		r.Reset()
+	}
+
+	coreCfg := g.cfg.Core
+	n := coreCfg.Blob.N()
+	copies := coreCfg.Redundancy
+	if copies < 1 {
+		copies = 1
+	}
+	g.net.After(0, func() {
+		// The builder pushes every line into its topic: cells chunked to
+		// datagram size, each chunk injected at `copies` random members
+		// (the same outbound budget as PANDAS's redundant policy).
+		for kind := 0; kind < 2; kind++ {
+			for idx := 0; idx < n; idx++ {
+				l := blob.Line{Kind: blob.Row, Index: uint16(idx)}
+				if kind == 1 {
+					l.Kind = blob.Col
+				}
+				overlay, ok := g.overlays[l]
+				if !ok {
+					continue
+				}
+				members := overlay.Members()
+				cells := l.Cells(n)
+				for startIdx := 0; startIdx < len(cells); startIdx += coreCfg.MaxCellsPerMsg {
+					end := min(startIdx+coreCfg.MaxCellsPerMsg, len(cells))
+					batch := make([]wire.Cell, 0, end-startIdx)
+					for _, id := range cells[startIdx:end] {
+						batch = append(batch, wire.Cell{ID: id})
+					}
+					g.nextMsg++
+					chunk := &custodyChunk{id: gossip.MsgID(g.nextMsg), slot: slot, line: l, cells: batch}
+					size := chunk.wireSize(coreCfg.Blob.CellBytes)
+					entry := copies
+					if entry > len(members) {
+						entry = len(members)
+					}
+					for _, mi := range g.rng.Perm(len(members))[:entry] {
+						g.net.Send(g.bIndex, members[mi], size, chunk)
+					}
+				}
+			}
+		}
+	})
+	g.net.Run(start + 12*time.Second)
+
+	res := &Result{BuilderBytes: g.net.Stats(g.bIndex).BytesSent}
+	for i, nd := range g.nodes {
+		s := time.Duration(-1)
+		if nd.Metrics.Sampled {
+			s = nd.Metrics.SampledAt - start
+		}
+		res.Sampling = append(res.Sampling, s)
+		st := g.net.Stats(i)
+		res.MsgsPerNode = append(res.MsgsPerNode, st.TotalMsgs())
+		res.BytesPerNode = append(res.BytesPerNode, st.TotalBytes())
+	}
+	g.net.ResetStats()
+	return res, nil
+}

@@ -1,0 +1,163 @@
+package blob
+
+import (
+	"fmt"
+
+	"pandas/internal/rs"
+)
+
+// Blob is the base K x K matrix of data cells assembled by a builder from
+// layer-2 data before extension.
+type Blob struct {
+	params Params
+	cells  [][]byte // K*K cells, row-major, each CellBytes long
+}
+
+// NewBlob packs data into a base blob, zero-padding the tail. Returns
+// ErrDataTooLarge if data exceeds the blob capacity.
+func NewBlob(p Params, data []byte) (*Blob, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) > p.BlobBytes() {
+		return nil, fmt.Errorf("%w: %d > %d", ErrDataTooLarge, len(data), p.BlobBytes())
+	}
+	cells := make([][]byte, p.K*p.K)
+	backing := make([]byte, p.BlobBytes())
+	copy(backing, data)
+	for i := range cells {
+		cells[i] = backing[i*p.CellBytes : (i+1)*p.CellBytes]
+	}
+	return &Blob{params: p, cells: cells}, nil
+}
+
+// Params returns the blob geometry.
+func (b *Blob) Params() Params { return b.params }
+
+// Cell returns the payload of the data cell at (row, col) of the BASE
+// matrix (both < K). The returned slice aliases internal storage.
+func (b *Blob) Cell(row, col int) []byte {
+	return b.cells[row*b.params.K+col]
+}
+
+// Data reassembles the packed data bytes (including padding).
+func (b *Blob) Data() []byte {
+	out := make([]byte, 0, b.params.BlobBytes())
+	for _, c := range b.cells {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// Extended is the 2K x 2K erasure-extended matrix. Every row and every
+// column is a rate-1/2 Reed-Solomon codeword: any K of its 2K cells
+// suffice to reconstruct the rest.
+type Extended struct {
+	params Params
+	n      int
+	cells  [][]byte // n*n cells, row-major
+	rowRS  *rs.Codec16
+}
+
+// Extend erasure-codes the blob in two dimensions. Rows of the base blob
+// are extended first (K -> 2K cells per row), then every column of the
+// widened matrix is extended (K -> 2K cells per column). Because the code
+// is linear, the "parity of parity" quadrant is consistent whichever
+// dimension is coded first.
+func Extend(b *Blob) (*Extended, error) {
+	p := b.params
+	n := p.N()
+	codec, err := codecFor(p)
+	if err != nil {
+		return nil, fmt.Errorf("blob: create codec: %w", err)
+	}
+	cells := make([][]byte, n*n)
+	// Row extension: for each of the K data rows, shards 0..K-1 are the
+	// data cells and K..2K-1 are produced by the codec.
+	for r := 0; r < p.K; r++ {
+		shards := make([][]byte, n)
+		for c := 0; c < p.K; c++ {
+			shards[c] = b.Cell(r, c)
+		}
+		if err := codec.Encode(shards); err != nil {
+			return nil, fmt.Errorf("blob: extend row %d: %w", r, err)
+		}
+		for c := 0; c < n; c++ {
+			cells[r*n+c] = shards[c]
+		}
+	}
+	// Column extension over all 2K columns.
+	for c := 0; c < n; c++ {
+		shards := make([][]byte, n)
+		for r := 0; r < p.K; r++ {
+			shards[r] = cells[r*n+c]
+		}
+		if err := codec.Encode(shards); err != nil {
+			return nil, fmt.Errorf("blob: extend column %d: %w", c, err)
+		}
+		for r := p.K; r < n; r++ {
+			cells[r*n+c] = shards[r]
+		}
+	}
+	return &Extended{params: p, n: n, cells: cells, rowRS: codec}, nil
+}
+
+// Params returns the blob geometry.
+func (e *Extended) Params() Params { return e.params }
+
+// N returns the extended matrix width.
+func (e *Extended) N() int { return e.n }
+
+// Cell returns the payload of the extended cell. The returned slice
+// aliases internal storage.
+func (e *Extended) Cell(id CellID) []byte {
+	return e.cells[id.Index(e.n)]
+}
+
+// Line returns the payloads of all cells along the given row or column.
+func (e *Extended) Line(l Line) [][]byte {
+	out := make([][]byte, e.n)
+	for i, id := range l.Cells(e.n) {
+		out[i] = e.cells[id.Index(e.n)]
+	}
+	return out
+}
+
+// Codec returns the rate-1/2 codec shared by all rows and columns.
+func (e *Extended) Codec() *rs.Codec16 { return e.rowRS }
+
+// ReconstructLine recovers a complete row or column from a partial set of
+// its cells. have maps position along the line (0..2K-1) to the cell
+// payload; at least K positions must be present. The returned slice has
+// 2K entries in line order. The input map is not modified.
+func (e *Extended) ReconstructLine(l Line, have map[int][]byte) ([][]byte, error) {
+	return ReconstructLine(e.params, have)
+}
+
+// ReconstructLine is the standalone form used by nodes that do not hold a
+// full Extended matrix: given at least K of the 2K cells of a single row
+// or column (keyed by position along the line), it returns all 2K cells.
+func ReconstructLine(p Params, have map[int][]byte) ([][]byte, error) {
+	n := p.N()
+	if len(have) < p.K {
+		return nil, fmt.Errorf("%w: have %d of %d needed", ErrNotEnough, len(have), p.K)
+	}
+	codec, err := codecFor(p)
+	if err != nil {
+		return nil, fmt.Errorf("blob: create codec: %w", err)
+	}
+	shards := make([][]byte, n)
+	for pos, cell := range have {
+		if pos < 0 || pos >= n {
+			return nil, fmt.Errorf("%w: position %d", ErrBadCell, pos)
+		}
+		if len(cell) != p.CellBytes {
+			return nil, fmt.Errorf("%w: cell at %d has %d bytes, want %d", ErrBadCell, pos, len(cell), p.CellBytes)
+		}
+		shards[pos] = cell
+	}
+	if err := codec.Reconstruct(shards); err != nil {
+		return nil, fmt.Errorf("blob: reconstruct line: %w", err)
+	}
+	return shards, nil
+}

@@ -1,0 +1,245 @@
+package blob
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testParams() Params { return Params{K: 8, CellBytes: 32, ProofBytes: 48} }
+
+func randBlob(t testing.TB, p Params, seed int64) *Blob {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, p.BlobBytes())
+	rng.Read(data)
+	b, err := NewBlob(p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		p  Params
+		ok bool
+	}{
+		{DefaultParams(), true},
+		{TestParams(), true},
+		{Params{K: 0, CellBytes: 64, ProofBytes: 48}, false},
+		{Params{K: 8, CellBytes: 63, ProofBytes: 48}, false}, // odd
+		{Params{K: 8, CellBytes: 0, ProofBytes: 48}, false},
+		{Params{K: 8, CellBytes: 64, ProofBytes: -1}, false},
+		{Params{K: 40000, CellBytes: 64, ProofBytes: 0}, false}, // 2K > 65536
+	}
+	for i, c := range cases {
+		err := c.p.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: Validate() = %v, ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestParamsPaperNumbers(t *testing.T) {
+	p := DefaultParams()
+	if got := p.BlobBytes(); got != 32*1024*1024 {
+		t.Errorf("BlobBytes = %d, want 32 MiB", got)
+	}
+	if got := p.CellWireBytes(); got != 560 {
+		t.Errorf("CellWireBytes = %d, want 560", got)
+	}
+	if got := p.N(); got != 512 {
+		t.Errorf("N = %d, want 512", got)
+	}
+	if got := p.ExtendedWireBytes(); got != 512*512*560 {
+		t.Errorf("ExtendedWireBytes = %d, want %d", got, 512*512*560)
+	}
+}
+
+func TestNewBlobPadsAndRejects(t *testing.T) {
+	p := testParams()
+	b, err := NewBlob(p, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := b.Data()
+	if !bytes.Equal(data[:5], []byte("hello")) {
+		t.Fatal("data prefix lost")
+	}
+	for _, x := range data[5:] {
+		if x != 0 {
+			t.Fatal("padding not zero")
+		}
+	}
+	if _, err := NewBlob(p, make([]byte, p.BlobBytes()+1)); !errors.Is(err, ErrDataTooLarge) {
+		t.Fatalf("err = %v, want ErrDataTooLarge", err)
+	}
+}
+
+func TestExtendSystematic(t *testing.T) {
+	p := testParams()
+	b := randBlob(t, p, 1)
+	e, err := Extend(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data quadrant must equal the base blob.
+	for r := 0; r < p.K; r++ {
+		for c := 0; c < p.K; c++ {
+			if !bytes.Equal(e.Cell(CellID{uint16(r), uint16(c)}), b.Cell(r, c)) {
+				t.Fatalf("data cell (%d,%d) differs", r, c)
+			}
+		}
+	}
+}
+
+func TestExtendRowsAndColumnsAreCodewords(t *testing.T) {
+	p := testParams()
+	b := randBlob(t, p, 2)
+	e, err := Extend(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := e.Codec()
+	n := p.N()
+	for i := 0; i < n; i++ {
+		rowShards := e.Line(Line{Kind: Row, Index: uint16(i)})
+		ok, err := codec.Verify(rowShards)
+		if err != nil || !ok {
+			t.Fatalf("row %d is not a codeword: %v %v", i, ok, err)
+		}
+		colShards := e.Line(Line{Kind: Col, Index: uint16(i)})
+		ok, err = codec.Verify(colShards)
+		if err != nil || !ok {
+			t.Fatalf("col %d is not a codeword: %v %v", i, ok, err)
+		}
+	}
+}
+
+func TestReconstructLineFromAnyHalf(t *testing.T) {
+	p := testParams()
+	b := randBlob(t, p, 3)
+	e, err := Extend(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.N()
+	rng := rand.New(rand.NewSource(4))
+	for _, l := range []Line{{Row, 0}, {Row, uint16(n - 1)}, {Col, 3}, {Col, uint16(n / 2)}} {
+		full := e.Line(l)
+		have := map[int][]byte{}
+		for _, pos := range rng.Perm(n)[:p.K] {
+			have[pos] = full[pos]
+		}
+		got, err := ReconstructLine(p, have)
+		if err != nil {
+			t.Fatalf("line %v: %v", l, err)
+		}
+		for i := range full {
+			if !bytes.Equal(got[i], full[i]) {
+				t.Fatalf("line %v cell %d mismatch", l, i)
+			}
+		}
+	}
+}
+
+func TestReconstructLineErrors(t *testing.T) {
+	p := testParams()
+	if _, err := ReconstructLine(p, map[int][]byte{0: make([]byte, p.CellBytes)}); !errors.Is(err, ErrNotEnough) {
+		t.Fatalf("err = %v, want ErrNotEnough", err)
+	}
+	have := map[int][]byte{}
+	for i := 0; i < p.K; i++ {
+		have[i] = make([]byte, p.CellBytes)
+	}
+	have[0] = make([]byte, p.CellBytes+1)
+	if _, err := ReconstructLine(p, have); !errors.Is(err, ErrBadCell) {
+		t.Fatalf("err = %v, want ErrBadCell", err)
+	}
+	have[0] = make([]byte, p.CellBytes)
+	have[p.N()] = make([]byte, p.CellBytes) // out of range position
+	if _, err := ReconstructLine(p, have); !errors.Is(err, ErrBadCell) {
+		t.Fatalf("err = %v, want ErrBadCell", err)
+	}
+}
+
+func TestQuickReconstructRandomHalves(t *testing.T) {
+	p := Params{K: 4, CellBytes: 8, ProofBytes: 0}
+	b := randBlob(t, p, 5)
+	e, err := Extend(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.N()
+	f := func(seed int64, rowIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := Line{Kind: Row, Index: uint16(int(rowIdx) % n)}
+		if seed%2 == 0 {
+			l.Kind = Col
+		}
+		full := e.Line(l)
+		have := map[int][]byte{}
+		keep := p.K + rng.Intn(n-p.K+1) // any count in [K, n]
+		for _, pos := range rng.Perm(n)[:keep] {
+			have[pos] = full[pos]
+		}
+		got, err := ReconstructLine(p, have)
+		if err != nil {
+			return false
+		}
+		for i := range full {
+			if !bytes.Equal(got[i], full[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellIDIndexRoundTrip(t *testing.T) {
+	n := 32
+	for idx := 0; idx < n*n; idx += 7 {
+		id := CellIDFromIndex(idx, n)
+		if id.Index(n) != idx {
+			t.Fatalf("round trip failed for %d", idx)
+		}
+	}
+}
+
+func TestLineCellsAndContains(t *testing.T) {
+	r := Line{Kind: Row, Index: 3}
+	cells := r.Cells(8)
+	if len(cells) != 8 {
+		t.Fatalf("len = %d", len(cells))
+	}
+	for i, c := range cells {
+		if c.Row != 3 || int(c.Col) != i {
+			t.Fatalf("bad cell %v at %d", c, i)
+		}
+		if !r.Contains(c) {
+			t.Fatalf("Contains(%v) = false", c)
+		}
+	}
+	if r.Contains(CellID{Row: 4, Col: 0}) {
+		t.Fatal("row 3 contains row-4 cell")
+	}
+	c := Line{Kind: Col, Index: 5}
+	if !c.Contains(CellID{Row: 7, Col: 5}) || c.Contains(CellID{Row: 5, Col: 4}) {
+		t.Fatal("column Contains wrong")
+	}
+}
+
+func TestLineKindString(t *testing.T) {
+	if Row.String() != "row" || Col.String() != "col" {
+		t.Fatal("LineKind strings wrong")
+	}
+	if (Line{Kind: Row, Index: 7}).String() != "row7" {
+		t.Fatal("Line string wrong")
+	}
+}

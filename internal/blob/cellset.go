@@ -1,0 +1,155 @@
+package blob
+
+import "math/bits"
+
+// CellSet tracks which cells of an extended matrix are present, with O(1)
+// per-row and per-column counts. It is the metadata representation of blob
+// data used by the large-scale simulator and by node custody bookkeeping;
+// one CellSet for the default 512x512 geometry occupies 32 KB.
+//
+// CellSet is not safe for concurrent use.
+type CellSet struct {
+	n         int
+	words     []uint64 // n*n bits, row-major
+	rowCounts []uint16
+	colCounts []uint16
+	total     int
+}
+
+// NewCellSet creates an empty presence bitmap for an extended matrix of
+// width n (= Params.N()).
+func NewCellSet(n int) *CellSet {
+	return &CellSet{
+		n:         n,
+		words:     make([]uint64, (n*n+63)/64),
+		rowCounts: make([]uint16, n),
+		colCounts: make([]uint16, n),
+	}
+}
+
+// N returns the matrix width the set was created for.
+func (s *CellSet) N() int { return s.n }
+
+// Add marks the cell present. It returns true if the cell was newly added,
+// false if it was already present.
+func (s *CellSet) Add(id CellID) bool {
+	idx := id.Index(s.n)
+	w, b := idx/64, uint(idx%64)
+	if s.words[w]&(1<<b) != 0 {
+		return false
+	}
+	s.words[w] |= 1 << b
+	s.rowCounts[id.Row]++
+	s.colCounts[id.Col]++
+	s.total++
+	return true
+}
+
+// Has reports whether the cell is present.
+func (s *CellSet) Has(id CellID) bool {
+	idx := id.Index(s.n)
+	return s.words[idx/64]&(1<<uint(idx%64)) != 0
+}
+
+// Count returns the total number of present cells.
+func (s *CellSet) Count() int { return s.total }
+
+// RowCount returns the number of present cells in the given row.
+func (s *CellSet) RowCount(row int) int { return int(s.rowCounts[row]) }
+
+// ColCount returns the number of present cells in the given column.
+func (s *CellSet) ColCount(col int) int { return int(s.colCounts[col]) }
+
+// LineCount returns the number of present cells along the line.
+func (s *CellSet) LineCount(l Line) int {
+	if l.Kind == Row {
+		return s.RowCount(int(l.Index))
+	}
+	return s.ColCount(int(l.Index))
+}
+
+// LineComplete reports whether every cell of the line is present.
+func (s *CellSet) LineComplete(l Line) bool { return s.LineCount(l) == s.n }
+
+// LineReconstructable reports whether the line holds at least half of its
+// cells and can therefore be completed with the rate-1/2 erasure code.
+func (s *CellSet) LineReconstructable(l Line) bool {
+	return s.LineCount(l) >= s.n/2
+}
+
+// CompleteLine marks every cell of the line present (the effect of an
+// erasure-code reconstruction). It returns the number of newly added
+// cells.
+func (s *CellSet) CompleteLine(l Line) int {
+	added := 0
+	for _, id := range l.Cells(s.n) {
+		if s.Add(id) {
+			added++
+		}
+	}
+	return added
+}
+
+// MissingInLine returns the positions along the line (0..n-1) whose cells
+// are absent.
+func (s *CellSet) MissingInLine(l Line) []int {
+	var out []int
+	for i, id := range l.Cells(s.n) {
+		if !s.Has(id) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (s *CellSet) Clone() *CellSet {
+	c := &CellSet{
+		n:         s.n,
+		words:     append([]uint64(nil), s.words...),
+		rowCounts: append([]uint16(nil), s.rowCounts...),
+		colCounts: append([]uint16(nil), s.colCounts...),
+		total:     s.total,
+	}
+	return c
+}
+
+// Reconstructable reports whether iterative row/column erasure decoding
+// starting from the present cells can recover the ENTIRE extended matrix.
+// This is the peeling process available to the network as a whole: any row
+// or column with at least n/2 present cells is completed, repeatedly,
+// until a fixpoint. A full matrix means the blob is available (Fig. 3 of
+// the paper shows the minimal and maximal boundary cases).
+func (s *CellSet) Reconstructable() bool {
+	work := s.Clone()
+	half := work.n / 2
+	for {
+		progress := false
+		for i := 0; i < work.n; i++ {
+			if c := int(work.rowCounts[i]); c >= half && c < work.n {
+				work.CompleteLine(Line{Kind: Row, Index: uint16(i)})
+				progress = true
+			}
+			if c := int(work.colCounts[i]); c >= half && c < work.n {
+				work.CompleteLine(Line{Kind: Col, Index: uint16(i)})
+				progress = true
+			}
+		}
+		if work.total == work.n*work.n {
+			return true
+		}
+		if !progress {
+			return false
+		}
+	}
+}
+
+// PopcountSanity recomputes the total from the raw bitmap; used by tests
+// to validate counter bookkeeping.
+func (s *CellSet) PopcountSanity() int {
+	t := 0
+	for _, w := range s.words {
+		t += bits.OnesCount64(w)
+	}
+	return t
+}

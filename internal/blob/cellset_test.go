@@ -1,0 +1,264 @@
+package blob
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCellSetAddHasCount(t *testing.T) {
+	s := NewCellSet(8)
+	id := CellID{Row: 2, Col: 3}
+	if s.Has(id) {
+		t.Fatal("empty set has cell")
+	}
+	if !s.Add(id) {
+		t.Fatal("first Add returned false")
+	}
+	if s.Add(id) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if !s.Has(id) || s.Count() != 1 || s.RowCount(2) != 1 || s.ColCount(3) != 1 {
+		t.Fatal("counters wrong after Add")
+	}
+	if s.RowCount(0) != 0 || s.ColCount(0) != 0 {
+		t.Fatal("unrelated counters non-zero")
+	}
+}
+
+func TestCellSetCountersMatchBitmap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + 2*rng.Intn(15)
+		s := NewCellSet(n)
+		rows := make([]int, n)
+		cols := make([]int, n)
+		for i := 0; i < n*n/2; i++ {
+			id := CellID{Row: uint16(rng.Intn(n)), Col: uint16(rng.Intn(n))}
+			if s.Add(id) {
+				rows[id.Row]++
+				cols[id.Col]++
+			}
+		}
+		if s.Count() != s.PopcountSanity() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if s.RowCount(i) != rows[i] || s.ColCount(i) != cols[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellSetLineOps(t *testing.T) {
+	s := NewCellSet(8)
+	l := Line{Kind: Row, Index: 1}
+	for i := 0; i < 4; i++ {
+		s.Add(CellID{Row: 1, Col: uint16(i)})
+	}
+	if !s.LineReconstructable(l) {
+		t.Fatal("4 of 8 should be reconstructable")
+	}
+	if s.LineComplete(l) {
+		t.Fatal("line not complete yet")
+	}
+	missing := s.MissingInLine(l)
+	if len(missing) != 4 || missing[0] != 4 {
+		t.Fatalf("missing = %v", missing)
+	}
+	if added := s.CompleteLine(l); added != 4 {
+		t.Fatalf("CompleteLine added %d, want 4", added)
+	}
+	if !s.LineComplete(l) || s.MissingInLine(l) != nil {
+		t.Fatal("line should be complete")
+	}
+	// Column counters must have been updated by CompleteLine.
+	for c := 0; c < 8; c++ {
+		if s.ColCount(c) != 1 {
+			t.Fatalf("ColCount(%d) = %d", c, s.ColCount(c))
+		}
+	}
+}
+
+func TestCellSetLineCountByKind(t *testing.T) {
+	s := NewCellSet(4)
+	s.Add(CellID{Row: 0, Col: 2})
+	if s.LineCount(Line{Kind: Row, Index: 0}) != 1 {
+		t.Fatal("row count")
+	}
+	if s.LineCount(Line{Kind: Col, Index: 2}) != 1 {
+		t.Fatal("col count")
+	}
+}
+
+func TestCellSetCloneIndependent(t *testing.T) {
+	s := NewCellSet(4)
+	s.Add(CellID{0, 0})
+	c := s.Clone()
+	c.Add(CellID{1, 1})
+	if s.Has(CellID{1, 1}) {
+		t.Fatal("clone aliases original")
+	}
+	if c.Count() != 2 || s.Count() != 1 {
+		t.Fatal("clone counts wrong")
+	}
+}
+
+func TestReconstructableFullAndEmpty(t *testing.T) {
+	s := NewCellSet(8)
+	if s.Reconstructable() {
+		t.Fatal("empty set reconstructable")
+	}
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			s.Add(CellID{uint16(r), uint16(c)})
+		}
+	}
+	if !s.Reconstructable() {
+		t.Fatal("full set not reconstructable")
+	}
+}
+
+func TestMinimalReconstructable(t *testing.T) {
+	for _, n := range []int{8, 16, 64} {
+		s := MinimalReconstructable(n)
+		if s.Count() != n*n/4 {
+			t.Fatalf("n=%d: count = %d, want %d", n, s.Count(), n*n/4)
+		}
+		if !s.Reconstructable() {
+			t.Fatalf("n=%d: minimal quadrant not reconstructable", n)
+		}
+		// Removing any single cell from the quadrant breaks it.
+		c := s.Clone()
+		// Rebuild without cell (0,0): peeling cannot start anywhere.
+		c2 := NewCellSet(n)
+		for r := 0; r < n/2; r++ {
+			for col := 0; col < n/2; col++ {
+				if r == 0 && col == 0 {
+					continue
+				}
+				c2.Add(CellID{uint16(r), uint16(col)})
+			}
+		}
+		_ = c
+		if c2.Reconstructable() {
+			t.Fatalf("n=%d: quadrant minus one cell should not be reconstructable", n)
+		}
+	}
+}
+
+func TestMaximalWithholdingNotReconstructable(t *testing.T) {
+	for _, n := range []int{8, 16, 64} {
+		s := MaximalWithholding(n)
+		want := n*n - WithheldCells(n)
+		if s.Count() != want {
+			t.Fatalf("n=%d: count = %d, want %d", n, s.Count(), want)
+		}
+		if s.Reconstructable() {
+			t.Fatalf("n=%d: maximal withholding is reconstructable", n)
+		}
+		// Adding one withheld cell back tips it over: the row it lands in
+		// becomes decodable, then peeling cascades.
+		s.Add(CellID{0, 0})
+		if !s.Reconstructable() {
+			t.Fatalf("n=%d: one extra cell should enable reconstruction", n)
+		}
+	}
+}
+
+func TestFalsePositiveBoundPaperNumbers(t *testing.T) {
+	// Paper: with n=512 and s=73, the false-positive bound is below 1e-9.
+	got := FalsePositiveBound(512, 73)
+	if got >= 1e-9 {
+		t.Fatalf("FalsePositiveBound(512, 73) = %g, want < 1e-9", got)
+	}
+	// The exact threshold of the hypergeometric bound is 72; the paper
+	// community's 73 keeps one sample of slack. 71 must NOT reach 1e-9.
+	if prev := FalsePositiveBound(512, 71); prev < 1e-9 {
+		t.Fatalf("FalsePositiveBound(512, 71) = %g; unexpectedly strong", prev)
+	}
+}
+
+func TestSamplesForConfidence(t *testing.T) {
+	// The exact bound crosses 1e-9 at s=72; the paper rounds up to 73.
+	if got := SamplesForConfidence(512, 1e-9); got != 72 {
+		t.Fatalf("SamplesForConfidence(512, 1e-9) = %d, want 72", got)
+	}
+	if got := SamplesForConfidence(512, 1.0); got != 1 {
+		t.Fatalf("SamplesForConfidence(512, 1.0) = %d, want 1", got)
+	}
+}
+
+func TestFalsePositiveBoundMonotone(t *testing.T) {
+	prev := 1.0
+	for s := 1; s <= 100; s++ {
+		cur := FalsePositiveBound(512, s)
+		if cur > prev {
+			t.Fatalf("bound increased at s=%d", s)
+		}
+		prev = cur
+	}
+}
+
+func TestWithheldCells(t *testing.T) {
+	if got := WithheldCells(512); got != 257*257 {
+		t.Fatalf("WithheldCells(512) = %d, want %d", got, 257*257)
+	}
+}
+
+func TestMonteCarloSamplingDetectsWithholding(t *testing.T) {
+	// Sample s random cells against the maximal withholding pattern many
+	// times; the empirical detection rate must be high and consistent
+	// with the analytic bound (which is a miss-probability upper bound).
+	const n, s, trials = 64, 30, 2000
+	set := MaximalWithholding(n)
+	rng := rand.New(rand.NewSource(42))
+	misses := 0
+	for trial := 0; trial < trials; trial++ {
+		allPresent := true
+		seen := map[int]bool{}
+		for len(seen) < s {
+			idx := rng.Intn(n * n)
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			if !set.Has(CellIDFromIndex(idx, n)) {
+				allPresent = false
+				break
+			}
+		}
+		if allPresent {
+			misses++
+		}
+	}
+	bound := FalsePositiveBound(n, s)
+	rate := float64(misses) / trials
+	// Allow generous slack over the analytic bound for Monte Carlo noise.
+	if rate > bound*3+0.01 {
+		t.Fatalf("empirical miss rate %g far above bound %g", rate, bound)
+	}
+}
+
+func BenchmarkCellSetAdd(b *testing.B) {
+	s := NewCellSet(512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(CellIDFromIndex(i%(512*512), 512))
+	}
+}
+
+func BenchmarkReconstructable512(b *testing.B) {
+	s := MinimalReconstructable(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Reconstructable() {
+			b.Fatal("not reconstructable")
+		}
+	}
+}

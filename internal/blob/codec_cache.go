@@ -1,0 +1,24 @@
+package blob
+
+import (
+	"sync"
+
+	"pandas/internal/rs"
+)
+
+// Building a Codec16 inverts a K x K matrix, which is far too expensive to
+// repeat for every reconstructed line. Codecs are immutable, so a small
+// process-wide cache keyed by geometry is shared by all blobs and nodes.
+var codecCache sync.Map // Params.K -> *rs.Codec16
+
+func codecFor(p Params) (*rs.Codec16, error) {
+	if v, ok := codecCache.Load(p.K); ok {
+		return v.(*rs.Codec16), nil
+	}
+	c, err := rs.New16(p.K, p.N())
+	if err != nil {
+		return nil, err
+	}
+	v, _ := codecCache.LoadOrStore(p.K, c)
+	return v.(*rs.Codec16), nil
+}

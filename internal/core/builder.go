@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pandas/internal/blob"
+	"pandas/internal/ids"
+	"pandas/internal/kzg"
+	"pandas/internal/wire"
+)
+
+// SeedingReport summarizes a builder's output for one slot.
+type SeedingReport struct {
+	Policy      Policy
+	Messages    int
+	Cells       int   // cell copies sent
+	Bytes       int64 // wire bytes including boost maps and headers
+	NodesSeeded int
+	Withheld    int // cell positions skipped by a withholding attack
+}
+
+// Builder prepares and seeds extended blob data (Section 6.1). In
+// real-payload mode it holds the extended matrix, its commitment, and all
+// cell proofs (Fig. 2); in metadata mode only the geometry.
+type Builder struct {
+	cfg   Config
+	table *Table
+	tr    Transport
+	index int
+	id    ids.NodeID
+	rng   *rand.Rand
+
+	extended   *blob.Extended
+	commitment kzg.Commitment
+	proofs     []kzg.Proof
+
+	// signSeed produces the proposer's signature binding this builder to
+	// a slot; provided by whoever plays the proposer.
+	signSeed func(slot uint64) [wire.SigSize]byte
+
+	// withhold marks cells the builder refuses to release (a data
+	// withholding attack). Nil means honest seeding.
+	withhold func(blob.CellID) bool
+
+	// inView restricts the builder's knowledge of nodes; nil = complete.
+	inView func(peer int) bool
+}
+
+// NewBuilder creates a builder bound to a transport address.
+func NewBuilder(cfg Config, index int, id ids.NodeID, table *Table, tr Transport, rngSeed int64) *Builder {
+	return &Builder{
+		cfg:   cfg,
+		table: table,
+		tr:    tr,
+		index: index,
+		id:    id,
+		rng:   rand.New(rand.NewSource(rngSeed)),
+	}
+}
+
+// SetProposerSigner installs the proposer-provided signing function for
+// seed messages.
+func (b *Builder) SetProposerSigner(sign func(slot uint64) [wire.SigSize]byte) {
+	b.signSeed = sign
+}
+
+// SetWithholding installs a data-withholding predicate: cells for which
+// it returns true are never sent. Pass nil for honest behaviour.
+func (b *Builder) SetWithholding(w func(blob.CellID) bool) { b.withhold = w }
+
+// SetView restricts which nodes the builder knows about.
+func (b *Builder) SetView(inView func(peer int) bool) { b.inView = inView }
+
+// PrepareBlob loads real layer-2 data: extends it, commits, and computes
+// all cell proofs. Only needed in real-payload mode.
+func (b *Builder) PrepareBlob(data []byte) error {
+	base, err := blob.NewBlob(b.cfg.Blob, data)
+	if err != nil {
+		return fmt.Errorf("core: builder blob: %w", err)
+	}
+	ext, err := blob.Extend(base)
+	if err != nil {
+		return fmt.Errorf("core: builder extend: %w", err)
+	}
+	b.extended = ext
+	b.commitment = kzg.Commit(ext)
+	b.proofs = kzg.ProveAll(ext, b.commitment)
+	return nil
+}
+
+// Commitment returns the current blob commitment (zero in metadata mode
+// unless PrepareBlob ran).
+func (b *Builder) Commitment() kzg.Commitment { return b.commitment }
+
+// cellPayload materializes a wire cell (with bytes and proof in real
+// mode).
+func (b *Builder) cellPayload(id blob.CellID) wire.Cell {
+	c := wire.Cell{ID: id}
+	if b.extended != nil {
+		c.Data = b.extended.Cell(id)
+		c.Proof = b.proofs[id.Index(b.cfg.Blob.N())]
+	}
+	return c
+}
+
+// SeedSlot executes the seeding phase: it assigns parcels of every line
+// to holders per the configured policy, builds per-node seed messages
+// with consolidation-boost maps, and transmits them.
+func (b *Builder) SeedSlot(slot uint64) SeedingReport {
+	report := SeedingReport{Policy: b.cfg.Policy}
+	n := b.cfg.Blob.N()
+	half := b.cfg.Blob.K
+
+	// Phase 1: decide, per cell, which of its two lines carries it.
+	// Cells are seeded exactly once per copy set (140 MB for "single",
+	// not 280), matching the paper's budget figures. The coin flip keeps
+	// both row and column holders supplied.
+	perLine := make(map[blob.Line][]int) // line -> positions carried by it
+	hasHolders := make(map[blob.Line]bool, 2*n)
+	lineHasHolders := func(l blob.Line) bool {
+		v, ok := hasHolders[l]
+		if !ok {
+			v = len(b.knownHolders(l)) > 0
+			hasHolders[l] = v
+		}
+		return v
+	}
+	addCell := func(id blob.CellID) {
+		if b.withhold != nil && b.withhold(id) {
+			report.Withheld++
+			return
+		}
+		rowL := blob.Line{Kind: blob.Row, Index: id.Row}
+		colL := blob.Line{Kind: blob.Col, Index: id.Col}
+		// Carry the cell on one of its two lines, chosen by coin flip so
+		// both row and column holders are supplied — but never on a line
+		// with no known holders (possible at small scales or with
+		// restricted views), which would silently lose the cell.
+		rowOK, colOK := lineHasHolders(rowL), lineHasHolders(colL)
+		var l blob.Line
+		var pos int
+		switch {
+		case rowOK && (!colOK || b.rng.Intn(2) == 0):
+			l, pos = rowL, int(id.Col)
+		case colOK:
+			l, pos = colL, int(id.Row)
+		default:
+			return // no holders at all: cell cannot be seeded
+		}
+		perLine[l] = append(perLine[l], pos)
+	}
+	switch b.cfg.Policy {
+	case PolicyMinimal:
+		// The minimal reconstructable set: the base data quadrant.
+		for r := 0; r < half; r++ {
+			for c := 0; c < half; c++ {
+				addCell(blob.CellID{Row: uint16(r), Col: uint16(c)})
+			}
+		}
+	default:
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				addCell(blob.CellID{Row: uint16(r), Col: uint16(c)})
+			}
+		}
+	}
+
+	// Phase 2: split every line's positions into contiguous parcels among
+	// a random permutation of its (known) holders, with r-fold
+	// replication under the redundant policy.
+	copies := 1
+	if b.cfg.Policy == PolicyRedundant {
+		copies = b.cfg.Redundancy
+	}
+	nodeCells := make(map[int][]wire.Cell) // recipient -> cells
+	lineBoost := make(map[blob.Line][]wire.BoostEntry)
+	linesInOrder := make([]blob.Line, 0, len(perLine))
+	for line := range perLine {
+		linesInOrder = append(linesInOrder, line)
+	}
+	sort.Slice(linesInOrder, func(i, j int) bool {
+		a, c := linesInOrder[i], linesInOrder[j]
+		if a.Kind != c.Kind {
+			return a.Kind < c.Kind
+		}
+		return a.Index < c.Index
+	})
+	for _, line := range linesInOrder {
+		positions := perLine[line]
+		holders := b.knownHolders(line)
+		if len(holders) == 0 {
+			continue
+		}
+		// Positions arrive in scan order; parcels must group adjacent
+		// cells.
+		sortInts(positions)
+		perm := b.rng.Perm(len(holders))
+		numParcels := min(len(positions), len(holders))
+		base := len(positions) / numParcels
+		extra := len(positions) % numParcels
+		start := 0
+		for pi := 0; pi < numParcels; pi++ {
+			cnt := base
+			if pi < extra {
+				cnt++
+			}
+			chunk := positions[start : start+cnt]
+			start += cnt
+			recipients := []int{holders[perm[pi]]}
+			if copies > 1 {
+				recipients = append(recipients, b.pickExtras(holders, recipients[0], copies-1)...)
+			}
+			for _, rcpt := range recipients {
+				for _, pos := range chunk {
+					nodeCells[rcpt] = append(nodeCells[rcpt], b.cellPayload(cellOnLine(line, pos)))
+				}
+				if b.cfg.UseBoost {
+					rank := b.table.HolderRank(line, rcpt)
+					if rank >= 0 {
+						lineBoost[line] = append(lineBoost[line], wire.BoostEntry{
+							Line:      line,
+							HolderRef: uint16(rank),
+							Start:     uint16(chunk[0]),
+							Count:     uint16(len(chunk)),
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 3: per-node boost maps — every holder of a line receives the
+	// line's CB entries, even holders that got no cells.
+	nodeBoost := make(map[int][]wire.BoostEntry)
+	if b.cfg.UseBoost {
+		for _, line := range linesInOrder {
+			entries := lineBoost[line]
+			if len(entries) == 0 {
+				continue
+			}
+			for _, h := range b.knownHolders(line) {
+				nodeBoost[h] = append(nodeBoost[h], entries...)
+			}
+		}
+	}
+
+	// Phase 4: transmit, in randomized node order, chunked to datagram
+	// size.
+	recipients := make([]int, 0, len(nodeCells)+len(nodeBoost))
+	seen := make(map[int]bool)
+	for node := range nodeCells {
+		if !seen[node] {
+			seen[node] = true
+			recipients = append(recipients, node)
+		}
+	}
+	for node := range nodeBoost {
+		if !seen[node] {
+			seen[node] = true
+			recipients = append(recipients, node)
+		}
+	}
+	sortInts(recipients)
+	b.rng.Shuffle(len(recipients), func(i, j int) {
+		recipients[i], recipients[j] = recipients[j], recipients[i]
+	})
+	var sig [wire.SigSize]byte
+	if b.signSeed != nil {
+		sig = b.signSeed(slot)
+	}
+	// Build every node's chunk sequence first, then transmit them
+	// round-robin (chunk 0 of every node, then chunk 1, ...). This
+	// interleaving mirrors a builder iterating over rows and columns: a
+	// node's first cells arrive early in the transmission schedule while
+	// its batch completes near the end, so all nodes start consolidation
+	// against peers that already hold their seed data.
+	type nodeChunks struct {
+		node   int
+		chunks []*wire.Seed
+	}
+	var sendPlan []nodeChunks
+	maxChunks := 0
+	for _, node := range recipients {
+		cells := nodeCells[node]
+		boost := nodeBoost[node]
+		report.NodesSeeded++
+		var nChunks int
+		// Boost-only chunks go FIRST: the consolidation-boost map tells
+		// the node which cells are already on their way to it, so its
+		// first fetch plan must see the complete map.
+		nBoostChunks := (len(boost) + maxBoostPerMsg - 1) / maxBoostPerMsg
+		nCellChunks := (len(cells) + b.cfg.MaxCellsPerMsg - 1) / b.cfg.MaxCellsPerMsg
+		nChunks = nBoostChunks + nCellChunks
+		if nChunks == 0 {
+			nChunks = 1
+		}
+		nc := nodeChunks{node: node, chunks: make([]*wire.Seed, 0, nChunks)}
+		for ci := 0; ci < nChunks; ci++ {
+			var chunk []wire.Cell
+			var bChunk []wire.BoostEntry
+			if ci < nBoostChunks {
+				bChunk = boost
+				if len(bChunk) > maxBoostPerMsg {
+					bChunk = boost[:maxBoostPerMsg]
+				}
+				boost = boost[len(bChunk):]
+			} else {
+				chunk = cells
+				if len(chunk) > b.cfg.MaxCellsPerMsg {
+					chunk = cells[:b.cfg.MaxCellsPerMsg]
+				}
+				cells = cells[len(chunk):]
+			}
+			nc.chunks = append(nc.chunks, &wire.Seed{
+				Slot:        slot,
+				Builder:     b.id,
+				ProposerSig: sig,
+				Commitment:  b.commitment,
+				ChunkIndex:  uint16(ci),
+				ChunkCount:  uint16(nChunks),
+				Cells:       chunk,
+				Boost:       bChunk,
+			})
+		}
+		if nChunks > maxChunks {
+			maxChunks = nChunks
+		}
+		sendPlan = append(sendPlan, nc)
+	}
+	for pass := 0; pass < maxChunks; pass++ {
+		for _, nc := range sendPlan {
+			if pass >= len(nc.chunks) {
+				continue
+			}
+			m := nc.chunks[pass]
+			size := m.WireSize(b.cfg.Blob.CellBytes)
+			report.Messages++
+			report.Cells += len(m.Cells)
+			report.Bytes += int64(size)
+			b.tr.SendReliable(nc.node, size, m)
+		}
+	}
+	return report
+}
+
+// maxBoostPerMsg keeps seed datagrams under the UDP limit; boost-only
+// chunks carry no cells, so up to 4096 entries (37 KB) fit comfortably.
+const maxBoostPerMsg = 4096
+
+// knownHolders filters a line's holders by the builder's view.
+func (b *Builder) knownHolders(l blob.Line) []int {
+	hs := b.table.Holders(l)
+	if b.inView == nil {
+		return hs
+	}
+	out := make([]int, 0, len(hs))
+	for _, h := range hs {
+		if b.inView(h) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// pickExtras selects count distinct holders different from primary.
+func (b *Builder) pickExtras(holders []int, primary, count int) []int {
+	if count <= 0 || len(holders) <= 1 {
+		return nil
+	}
+	if count > len(holders)-1 {
+		count = len(holders) - 1
+	}
+	out := make([]int, 0, count)
+	seen := map[int]bool{primary: true}
+	for len(out) < count {
+		h := holders[b.rng.Intn(len(holders))]
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		out = append(out, h)
+	}
+	return out
+}
+
+func sortInts(s []int) { sort.Ints(s) }

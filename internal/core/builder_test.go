@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"pandas/internal/assign"
+	"pandas/internal/blob"
+	"pandas/internal/ids"
+	"pandas/internal/wire"
+)
+
+// captureTransport records sends for unit tests of node/builder logic.
+type captureTransport struct {
+	now   time.Duration
+	sends []capturedSend
+	// timers run manually via fire().
+	timers []capturedTimer
+}
+
+type capturedSend struct {
+	to       int
+	size     int
+	payload  any
+	reliable bool
+}
+
+type capturedTimer struct {
+	at time.Duration
+	fn func()
+}
+
+func (c *captureTransport) Send(to, size int, payload any) {
+	c.sends = append(c.sends, capturedSend{to: to, size: size, payload: payload})
+}
+
+func (c *captureTransport) SendReliable(to, size int, payload any) {
+	c.sends = append(c.sends, capturedSend{to: to, size: size, payload: payload, reliable: true})
+}
+
+func (c *captureTransport) After(d time.Duration, fn func()) {
+	c.timers = append(c.timers, capturedTimer{at: c.now + d, fn: fn})
+}
+
+func (c *captureTransport) Now() time.Duration { return c.now }
+
+// advance runs all timers due by the new time, in order.
+func (c *captureTransport) advance(to time.Duration) {
+	for {
+		best := -1
+		for i, t := range c.timers {
+			if t.at <= to && (best < 0 || t.at < c.timers[best].at) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		t := c.timers[best]
+		c.timers = append(c.timers[:best], c.timers[best+1:]...)
+		if t.at > c.now {
+			c.now = t.at
+		}
+		t.fn()
+	}
+	if to > c.now {
+		c.now = to
+	}
+}
+
+func builderFixture(t *testing.T, cfg Config, n int) (*Builder, *Table, *captureTransport) {
+	t.Helper()
+	nodeIDs := make([]ids.NodeID, n)
+	for i := range nodeIDs {
+		nodeIDs[i] = ids.NewTestIdentity(int64(i)).ID
+	}
+	var seed assign.Seed
+	seed[0] = 7
+	table, err := NewTable(cfg.Assign, seed, nodeIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &captureTransport{}
+	b := NewBuilder(cfg, n, ids.NewTestIdentity(999).ID, table, tr, 1)
+	return b, table, tr
+}
+
+func TestBuilderSeedsAllCellsOnce(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Policy = PolicySingle
+	b, _, tr := builderFixture(t, cfg, 100)
+	report := b.SeedSlot(1)
+	if report.Cells != cfg.Blob.ExtendedCells() {
+		t.Fatalf("single policy sent %d cells, want %d", report.Cells, cfg.Blob.ExtendedCells())
+	}
+	// Every cell appears exactly once across all seed messages.
+	seen := make(map[blob.CellID]int)
+	for _, s := range tr.sends {
+		m, ok := s.payload.(*wire.Seed)
+		if !ok {
+			t.Fatalf("non-seed payload %T", s.payload)
+		}
+		if !s.reliable {
+			t.Fatal("seeding must use the reliable path")
+		}
+		for _, c := range m.Cells {
+			seen[c.ID]++
+		}
+	}
+	if len(seen) != cfg.Blob.ExtendedCells() {
+		t.Fatalf("distinct cells = %d", len(seen))
+	}
+	for id, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("cell %v sent %d times", id, cnt)
+		}
+	}
+}
+
+func TestBuilderChunkMarkersConsistent(t *testing.T) {
+	cfg := TestConfig()
+	b, _, tr := builderFixture(t, cfg, 60)
+	b.SeedSlot(1)
+	perNode := make(map[int][]*wire.Seed)
+	for _, s := range tr.sends {
+		perNode[s.to] = append(perNode[s.to], s.payload.(*wire.Seed))
+	}
+	for node, msgs := range perNode {
+		total := int(msgs[0].ChunkCount)
+		if total != len(msgs) {
+			t.Fatalf("node %d: ChunkCount %d != %d messages", node, total, len(msgs))
+		}
+		seenIdx := make(map[uint16]bool)
+		boostFirst := true
+		for i, m := range msgs {
+			if int(m.ChunkCount) != total {
+				t.Fatal("inconsistent ChunkCount")
+			}
+			if seenIdx[m.ChunkIndex] {
+				t.Fatal("duplicate ChunkIndex")
+			}
+			seenIdx[m.ChunkIndex] = true
+			// Boost-only chunks precede cell chunks.
+			if len(m.Boost) > 0 && len(m.Cells) > 0 {
+				t.Fatal("mixed boost+cell chunk")
+			}
+			if len(m.Cells) > 0 {
+				boostFirst = false
+			}
+			if len(m.Boost) > 0 && !boostFirst {
+				t.Fatalf("node %d msg %d: boost chunk after cell chunk", node, i)
+			}
+		}
+	}
+}
+
+func TestBuilderBoostEntriesResolve(t *testing.T) {
+	cfg := TestConfig()
+	b, table, tr := builderFixture(t, cfg, 60)
+	b.SeedSlot(1)
+	for _, s := range tr.sends {
+		m := s.payload.(*wire.Seed)
+		for _, e := range m.Boost {
+			peer := table.HolderAt(e.Line, int(e.HolderRef))
+			if peer < 0 {
+				t.Fatalf("boost entry %+v resolves to no holder", e)
+			}
+			if !table.Assignment(peer).HasLine(e.Line) {
+				t.Fatalf("boost entry resolves to non-holder %d", peer)
+			}
+		}
+	}
+}
+
+func TestBuilderWithholdingReport(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Policy = PolicySingle
+	b, _, _ := builderFixture(t, cfg, 60)
+	n := cfg.Blob.N()
+	h := n/2 + 1
+	b.SetWithholding(func(id blob.CellID) bool {
+		return int(id.Row) < h && int(id.Col) < h
+	})
+	report := b.SeedSlot(1)
+	if report.Withheld != h*h {
+		t.Fatalf("withheld %d, want %d", report.Withheld, h*h)
+	}
+	if report.Cells != cfg.Blob.ExtendedCells()-h*h {
+		t.Fatalf("cells sent %d", report.Cells)
+	}
+}
+
+func TestBuilderRestrictedView(t *testing.T) {
+	cfg := TestConfig()
+	b, _, tr := builderFixture(t, cfg, 80)
+	b.SetView(func(peer int) bool { return peer < 40 })
+	report := b.SeedSlot(1)
+	if report.NodesSeeded == 0 {
+		t.Fatal("nothing seeded")
+	}
+	for _, s := range tr.sends {
+		if s.to >= 40 {
+			t.Fatalf("seeded out-of-view node %d", s.to)
+		}
+	}
+}
+
+func TestBuilderRedundancyCopies(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Policy = PolicyRedundant
+	cfg.Redundancy = 3
+	b, table, tr := builderFixture(t, cfg, 200) // dense enough for 3 holders/line
+	b.SeedSlot(1)
+	counts := make(map[blob.CellID]int)
+	for _, s := range tr.sends {
+		for _, c := range s.payload.(*wire.Seed).Cells {
+			counts[c.ID]++
+		}
+	}
+	// Most cells should have exactly r copies (lines with < r holders cap).
+	exact := 0
+	for id, cnt := range counts {
+		if cnt > 3 {
+			t.Fatalf("cell %v sent %d > r times", id, cnt)
+		}
+		if cnt == 3 {
+			exact++
+		}
+	}
+	if float64(exact) < 0.5*float64(len(counts)) {
+		t.Fatalf("only %d/%d cells reached full redundancy", exact, len(counts))
+	}
+	_ = table
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pandas/internal/assign"
+	"pandas/internal/consensus"
+	"pandas/internal/gossip"
+	"pandas/internal/ids"
+	"pandas/internal/latency"
+	"pandas/internal/simnet"
+	"pandas/internal/wire"
+)
+
+// ClusterConfig describes a simulated PANDAS deployment: N nodes plus one
+// builder over the discrete-event network.
+type ClusterConfig struct {
+	// Core holds the protocol parameters.
+	Core Config
+	// N is the number of (non-builder) nodes.
+	N int
+	// Seed drives every random choice in the deployment.
+	Seed int64
+	// Latency is the propagation model; nil selects the IPFS-like
+	// planetary topology.
+	Latency simnet.LatencyModel
+	// LossRate is the per-message drop probability (3% default when
+	// negative).
+	LossRate float64
+	// DeadFraction marks this share of nodes as crashed/free-riding:
+	// they receive but never respond, and the builder does not know.
+	DeadFraction float64
+	// OutOfViewFraction removes this share of the network from every
+	// node's view (views are random per node; the builder keeps a full
+	// view).
+	OutOfViewFraction float64
+	// BlockGossip additionally disseminates a block over a global
+	// GossipSub-style mesh and records reception times (Fig. 9a and the
+	// attestation decision).
+	BlockGossip bool
+	// BlockSize is the gossiped block size in bytes (128 KiB default).
+	BlockSize int
+	// VerifySeeds enables proposer-signature verification at nodes
+	// (real-payload deployments).
+	VerifySeeds bool
+}
+
+// NodeOutcome reports one node's slot, with durations relative to the
+// slot start. A negative duration means "never happened".
+type NodeOutcome struct {
+	Seed          time.Duration // last seed datagram
+	Consolidation time.Duration
+	Sampling      time.Duration
+	BlockRecv     time.Duration // only with BlockGossip
+	ConsFromSeed  time.Duration // consolidation measured from seeding
+	Dead          bool
+
+	FetchMsgs  int   // queries + responses, both directions
+	FetchBytes int64 // corresponding traffic volume
+	Rounds     []RoundStat
+	SampleVote consensus.Vote // tight fork-choice attestation
+}
+
+// SlotResult aggregates a full slot.
+type SlotResult struct {
+	Outcomes []NodeOutcome
+	Seeding  SeedingReport
+	// BuilderBytes is the builder's total sent volume (seeding).
+	BuilderBytes int64
+	// Dropped counts messages lost in the network during the slot.
+	Dropped int
+}
+
+// Cluster is a simulated deployment.
+type Cluster struct {
+	cfg     ClusterConfig
+	net     *simnet.Network
+	table   *Table
+	nodes   []*Node
+	builder *Builder
+	bIndex  int
+
+	proposer  *ids.Identity
+	overlay   *gossip.Overlay
+	routers   []*gossip.Router
+	blockRecv []time.Duration
+	deadSet   map[int]bool
+	randao    *consensus.Randao
+}
+
+// simTransport adapts the simulator to the core Transport interface.
+type simTransport struct {
+	net  *simnet.Network
+	self int
+}
+
+func (s simTransport) Send(to, size int, payload any) { s.net.Send(s.self, to, size, payload) }
+func (s simTransport) SendReliable(to, size int, payload any) {
+	s.net.SendReliable(s.self, to, size, payload)
+}
+func (s simTransport) After(d time.Duration, fn func()) { s.net.After(d, fn) }
+func (s simTransport) Now() time.Duration               { return s.net.Now() }
+
+// NewCluster builds the deployment: identities, epoch table, simulator
+// wiring, fault injection, and optionally the block gossip overlay.
+func NewCluster(cc ClusterConfig) (*Cluster, error) {
+	if cc.N < 1 {
+		return nil, ErrNoNodes
+	}
+	if err := cc.Core.Validate(); err != nil {
+		return nil, err
+	}
+	if cc.Latency == nil {
+		vertices := cc.N + 1
+		if vertices > 10000 {
+			vertices = 10000
+		}
+		cc.Latency = latency.NewIPFSLike(cc.Seed, vertices)
+	}
+	loss := cc.LossRate
+	if loss < 0 {
+		loss = simnet.DefaultLossRate
+	}
+	if cc.BlockSize == 0 {
+		cc.BlockSize = 128 * 1024
+	}
+	net, err := simnet.New(simnet.Config{
+		Latency:  cc.Latency,
+		LossRate: loss,
+		Seed:     cc.Seed,
+		MinDelay: time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cc.Seed))
+	nodeIDs := make([]ids.NodeID, cc.N)
+	for i := range nodeIDs {
+		nodeIDs[i] = ids.NewTestIdentity(cc.Seed<<20 + int64(i)).ID
+	}
+	entropy := [32]byte{}
+	rng.Read(entropy[:])
+	randao := consensus.NewRandao(entropy)
+	table, err := NewTable(cc.Core.Assign, randao.SeedFor(0), nodeIDs)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		cfg:     cc,
+		net:     net,
+		table:   table,
+		deadSet: make(map[int]bool),
+		randao:  randao,
+	}
+
+	proposer, err := ids.NewIdentity()
+	if err != nil {
+		return nil, fmt.Errorf("core: proposer identity: %w", err)
+	}
+	c.proposer = proposer
+
+	// Register nodes.
+	c.nodes = make([]*Node, cc.N)
+	c.blockRecv = make([]time.Duration, cc.N)
+	for i := 0; i < cc.N; i++ {
+		i := i
+		idx := net.AddNode(func(from, size int, payload any) {
+			c.dispatch(i, from, size, payload)
+		}, simnet.NodeBandwidth, simnet.NodeBandwidth)
+		if idx != i {
+			return nil, fmt.Errorf("core: node index mismatch: %d != %d", idx, i)
+		}
+		c.nodes[i] = NewNode(cc.Core, i, table, simTransport{net: net, self: i}, cc.Seed^int64(i*2654435761))
+		if cc.VerifySeeds {
+			c.nodes[i].SetSeedVerification(proposer.Public)
+		}
+	}
+
+	// The builder sits on a well-connected vertex with a 10 Gbps uplink.
+	c.bIndex = net.AddNode(nil, simnet.BuilderBandwidth, simnet.BuilderBandwidth)
+	builderID := ids.NewTestIdentity(cc.Seed<<20 + int64(cc.N) + 7).ID
+	c.builder = NewBuilder(cc.Core, c.bIndex, builderID, table, simTransport{net: net, self: c.bIndex}, cc.Seed+99)
+	c.builder.SetProposerSigner(func(slot uint64) [wire.SigSize]byte {
+		var sig [wire.SigSize]byte
+		copy(sig[:], proposer.Sign(wire.SeedSigningBytes(slot, builderID)))
+		return sig
+	})
+
+	// Fault injection: dead nodes.
+	if cc.DeadFraction > 0 {
+		count := int(float64(cc.N) * cc.DeadFraction)
+		for _, i := range rng.Perm(cc.N)[:count] {
+			c.deadSet[i] = true
+			if err := net.SetDead(i, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Fault injection: incomplete views. Each node knows a random
+	// (1 - f) subset of the network; the builder keeps its full view.
+	if cc.OutOfViewFraction > 0 {
+		keep := cc.N - int(float64(cc.N)*cc.OutOfViewFraction)
+		for i := 0; i < cc.N; i++ {
+			visible := make(map[int]bool, keep)
+			visible[i] = true
+			for _, p := range rng.Perm(cc.N)[:keep] {
+				visible[p] = true
+			}
+			c.nodes[i].SetView(func(peer int) bool { return visible[peer] })
+		}
+	}
+
+	// Block dissemination mesh over all nodes.
+	if cc.BlockGossip {
+		members := make([]int, cc.N)
+		for i := range members {
+			members[i] = i
+		}
+		c.overlay = gossip.NewOverlay(rng, members, gossip.DefaultDegree)
+		c.routers = make([]*gossip.Router, cc.N)
+		for i := range c.routers {
+			c.routers[i] = gossip.NewRouter(i)
+		}
+	}
+	return c, nil
+}
+
+// dispatch routes payloads at a node: PANDAS protocol messages to the
+// Node, gossip frames to the block router.
+func (c *Cluster) dispatch(node, from, size int, payload any) {
+	if id, ok := payload.(gossip.MsgID); ok {
+		c.onBlockGossip(node, from, size, id)
+		return
+	}
+	c.nodes[node].HandleMessage(from, size, payload)
+}
+
+func (c *Cluster) onBlockGossip(node, from, size int, id gossip.MsgID) {
+	if c.routers == nil {
+		return
+	}
+	fwd, isNew := c.routers[node].Receive(c.overlay, id, from)
+	if !isNew {
+		return
+	}
+	if c.blockRecv[node] < 0 {
+		c.blockRecv[node] = c.net.Now()
+	}
+	for _, peer := range fwd {
+		c.net.Send(node, peer, size, id)
+	}
+}
+
+// Table exposes the epoch table.
+func (c *Cluster) Table() *Table { return c.table }
+
+// Builder exposes the builder (to set withholding, views, or real blobs).
+func (c *Cluster) Builder() *Builder { return c.builder }
+
+// Nodes exposes the node list.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Network exposes the simulator (for custom drivers).
+func (c *Cluster) Network() *simnet.Network { return c.net }
+
+// RunSlot simulates one full slot: the proposer selects the builder at
+// slot start, the builder seeds, nodes consolidate and sample. The
+// simulation runs for a full 12 s slot so that stragglers past the 4 s
+// deadline are still measured (as in Fig. 11).
+func (c *Cluster) RunSlot(slot uint64) (*SlotResult, error) {
+	start := c.net.Now()
+	droppedBefore := c.net.Dropped()
+	for i, n := range c.nodes {
+		n.StartSlot(slot)
+		c.blockRecv[i] = -1
+	}
+	if c.routers != nil {
+		for _, r := range c.routers {
+			r.Reset()
+		}
+	}
+
+	// t=0: proposer instructs the builder to seed, and (optionally)
+	// publishes the block via gossip from a random well-known node.
+	var report SeedingReport
+	c.net.After(0, func() {
+		report = c.builder.SeedSlot(slot)
+	})
+	if c.overlay != nil {
+		origin := int(slot) % len(c.nodes)
+		c.net.After(0, func() {
+			if c.blockRecv[origin] < 0 {
+				c.blockRecv[origin] = c.net.Now()
+			}
+			id := gossip.MsgID(slot + 1)
+			for _, peer := range c.routers[origin].Publish(c.overlay, id) {
+				c.net.Send(origin, peer, c.cfg.BlockSize, id)
+			}
+		})
+	}
+	c.net.Run(start + consensus.SlotDuration)
+
+	res := &SlotResult{Seeding: report, Dropped: c.net.Dropped() - droppedBefore}
+	res.BuilderBytes = c.net.Stats(c.bIndex).BytesSent
+	res.Outcomes = make([]NodeOutcome, len(c.nodes))
+	for i, n := range c.nodes {
+		m := n.Metrics
+		o := NodeOutcome{
+			Seed:          -1,
+			Consolidation: -1,
+			Sampling:      -1,
+			BlockRecv:     -1,
+			ConsFromSeed:  -1,
+			Dead:          c.deadSet[i],
+			FetchMsgs:     m.FetchMsgsSent + m.FetchMsgsRecv,
+			FetchBytes:    m.FetchBytesSent + m.FetchBytesRecv,
+			Rounds:        m.Rounds,
+		}
+		if m.HasSeed {
+			// "Time to seeding" is the arrival of the node's initial seed
+			// data (the paper's Fig. 9a metric).
+			o.Seed = m.FirstSeedAt - start
+		}
+		if m.Consolidated {
+			o.Consolidation = m.ConsolidatedAt - start
+			if m.HasSeed {
+				o.ConsFromSeed = m.ConsolidatedAt - m.FirstSeedAt
+			}
+		}
+		if m.Sampled {
+			o.Sampling = m.SampledAt - start
+		}
+		if c.blockRecv[i] >= 0 {
+			o.BlockRecv = c.blockRecv[i] - start
+		}
+		// Tight fork-choice attestation: block (when gossiped) and DAS
+		// must both land within the 4 s phase.
+		in := consensus.AttestationInput{SlotStart: time.Unix(0, 0)}
+		if o.BlockRecv >= 0 || c.overlay == nil {
+			block := o.BlockRecv
+			if c.overlay == nil {
+				block = 0 // block dissemination not simulated: assume on time
+			}
+			in.BlockValidAt = in.SlotStart.Add(block)
+		}
+		if o.Sampling >= 0 {
+			in.DASCompleteAt = in.SlotStart.Add(o.Sampling)
+		}
+		o.SampleVote = consensus.Attest(consensus.TightForkChoice, in)
+		res.Outcomes[i] = o
+	}
+	// Reset traffic stats so subsequent slots measure independently.
+	c.net.ResetStats()
+	return res, nil
+}
+
+// DeadlineRate returns the fraction of LIVE nodes that completed sampling
+// within the deadline.
+func (r *SlotResult) DeadlineRate(deadline time.Duration) float64 {
+	live, ok := 0, 0
+	for _, o := range r.Outcomes {
+		if o.Dead {
+			continue
+		}
+		live++
+		if o.Sampling >= 0 && o.Sampling <= deadline {
+			ok++
+		}
+	}
+	if live == 0 {
+		return 0
+	}
+	return float64(ok) / float64(live)
+}
+
+// CommitteeDecision samples a consensus committee for the slot and
+// aggregates its members' tight fork-choice votes — the end-to-end
+// outcome PANDAS feeds into Ethereum: with available data a
+// supermajority attests and the block is accepted; with withheld data
+// the committee rejects it, all without consensus-protocol changes.
+func (r *SlotResult) CommitteeDecision(seed assign.Seed, slot uint64, size int) consensus.Decision {
+	members := consensus.Committee(seed, consensus.Slot(slot), len(r.Outcomes), size)
+	votes := make([]consensus.Vote, 0, len(members))
+	for _, m := range members {
+		votes = append(votes, r.Outcomes[m].SampleVote)
+	}
+	return consensus.Aggregate(votes, len(members))
+}

@@ -1,0 +1,507 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"pandas/internal/blob"
+	"pandas/internal/consensus"
+	"pandas/internal/fetch"
+	"pandas/internal/ids"
+	"pandas/internal/simnet"
+)
+
+// smallCluster builds a fast deployment for tests: scaled-down blob,
+// moderate node count, paper-like loss and latency.
+func smallCluster(t testing.TB, n int, mutate func(*ClusterConfig)) *Cluster {
+	t.Helper()
+	cc := ClusterConfig{
+		Core:     TestConfig(),
+		N:        n,
+		Seed:     42,
+		LossRate: simnet.DefaultLossRate,
+	}
+	if mutate != nil {
+		mutate(&cc)
+	}
+	c, err := NewCluster(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Core: TestConfig(), N: 0}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	bad := TestConfig()
+	bad.Samples = 0
+	if _, err := NewCluster(ClusterConfig{Core: bad, N: 5}); err == nil {
+		t.Fatal("invalid core config accepted")
+	}
+}
+
+func TestSlotAllNodesSampleWithinDeadline(t *testing.T) {
+	c := smallCluster(t, 120, nil)
+	res, err := c.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := c.cfg.Core.Deadline
+	seedless := 0
+	for i, o := range res.Outcomes {
+		if o.Seed < 0 {
+			// At this scale a node's whole seed batch fits in one UDP
+			// datagram, so 3% loss occasionally leaves a node seedless;
+			// it must still sample via the timer path.
+			seedless++
+		}
+		if o.Sampling < 0 {
+			t.Errorf("node %d never completed sampling", i)
+		} else if o.Sampling > deadline {
+			t.Errorf("node %d sampled at %v > %v", i, o.Sampling, deadline)
+		}
+		if o.Consolidation < 0 {
+			t.Errorf("node %d never consolidated", i)
+		}
+	}
+	if rate := res.DeadlineRate(deadline); rate < 1.0 {
+		t.Fatalf("deadline rate %v < 1.0", rate)
+	}
+	if seedless > len(res.Outcomes)/10 {
+		t.Fatalf("%d nodes never received seeds", seedless)
+	}
+	if res.Seeding.Cells == 0 || res.Seeding.Messages == 0 {
+		t.Fatal("builder sent nothing")
+	}
+}
+
+func TestSlotPhaseOrdering(t *testing.T) {
+	c := smallCluster(t, 80, nil)
+	res, err := c.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outcomes {
+		if o.Consolidation < 0 || o.Sampling < 0 {
+			t.Fatalf("node %d incomplete: %+v", i, o)
+		}
+		// Consolidation cannot finish before the first seed message (when
+		// seeds arrived at all).
+		if o.Seed >= 0 && o.ConsFromSeed < 0 {
+			t.Errorf("node %d: consolidation before seeding (%v)", i, o.ConsFromSeed)
+		}
+	}
+}
+
+func TestSlotNodesVerifyStoreContents(t *testing.T) {
+	c := smallCluster(t, 60, nil)
+	if _, err := c.RunSlot(1); err != nil {
+		t.Fatal(err)
+	}
+	// After a successful slot every node's custody lines are complete and
+	// all samples are present.
+	for i, n := range c.Nodes() {
+		a := c.Table().Assignment(i)
+		for _, l := range a.Lines() {
+			if !n.Store().LineComplete(l) {
+				t.Fatalf("node %d line %v incomplete", i, l)
+			}
+		}
+		for _, smp := range n.Samples() {
+			if !n.Store().Has(smp) {
+				t.Fatalf("node %d sample %v missing", i, smp)
+			}
+		}
+	}
+}
+
+func TestSlotSeedingPolicies(t *testing.T) {
+	// Builder cost ordering: minimal < single < redundant. The minimal
+	// policy needs enough holders per line to survive response loss (it
+	// has zero erasure slack — the paper calls it fragile and evaluates
+	// at 1,000 nodes), so this test runs at a larger scale and holds it
+	// to a softer bar.
+	thresholds := map[Policy]float64{
+		PolicyMinimal:   0.80,
+		PolicySingle:    0.95,
+		PolicyRedundant: 0.95,
+	}
+	var bytesByPolicy []int64
+	for _, policy := range []Policy{PolicyMinimal, PolicySingle, PolicyRedundant} {
+		c := smallCluster(t, 300, func(cc *ClusterConfig) {
+			cc.Core.Policy = policy
+		})
+		res, err := c.RunSlot(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate := res.DeadlineRate(c.cfg.Core.Deadline); rate < thresholds[policy] {
+			t.Errorf("policy %v: deadline rate %v", policy, rate)
+		}
+		bytesByPolicy = append(bytesByPolicy, res.Seeding.Bytes)
+	}
+	if !(bytesByPolicy[0] < bytesByPolicy[1] && bytesByPolicy[1] < bytesByPolicy[2]) {
+		t.Fatalf("policy cost ordering violated: %v", bytesByPolicy)
+	}
+}
+
+func TestSlotRedundantPolicyVolume(t *testing.T) {
+	// Redundant seeding sends ~r times the single policy's cell count.
+	cSingle := smallCluster(t, 60, func(cc *ClusterConfig) { cc.Core.Policy = PolicySingle })
+	resSingle, err := cSingle.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRed := smallCluster(t, 60, func(cc *ClusterConfig) { cc.Core.Policy = PolicyRedundant })
+	resRed, err := cRed.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := float64(cRed.cfg.Core.Redundancy)
+	ratio := float64(resRed.Seeding.Cells) / float64(resSingle.Seeding.Cells)
+	// Lines with fewer than r holders cap their replication, so at this
+	// small scale the ratio sits below r but well above 1.
+	if ratio < 2 || ratio > r*1.05 {
+		t.Fatalf("redundant/single cell ratio %.2f, want in (2, %v]", ratio, r)
+	}
+	// Single policy sends each extended cell exactly once.
+	total := cSingle.cfg.Core.Blob.ExtendedCells()
+	if resSingle.Seeding.Cells != total {
+		t.Fatalf("single policy sent %d cells, want %d", resSingle.Seeding.Cells, total)
+	}
+}
+
+func TestSlotWithDeadNodes(t *testing.T) {
+	c := smallCluster(t, 150, func(cc *ClusterConfig) {
+		cc.DeadFraction = 0.2
+	})
+	res, err := c.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := 0
+	for _, o := range res.Outcomes {
+		if o.Dead {
+			dead++
+		}
+	}
+	if dead != 30 {
+		t.Fatalf("dead = %d, want 30", dead)
+	}
+	// The paper: 20% dead nodes still let the great majority of live
+	// nodes finish on time.
+	if rate := res.DeadlineRate(c.cfg.Core.Deadline); rate < 0.9 {
+		t.Fatalf("deadline rate with 20%% dead = %v", rate)
+	}
+}
+
+func TestSlotWithOutOfViewNodes(t *testing.T) {
+	c := smallCluster(t, 150, func(cc *ClusterConfig) {
+		cc.OutOfViewFraction = 0.2
+	})
+	res, err := c.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := res.DeadlineRate(c.cfg.Core.Deadline); rate < 0.9 {
+		t.Fatalf("deadline rate with 20%% out-of-view = %v", rate)
+	}
+}
+
+func TestSlotSevereFaultsDegrade(t *testing.T) {
+	// 80% dead nodes must hurt: far fewer live nodes meet the deadline
+	// than in the fault-free case (paper: 27% at 80% dead).
+	healthy := smallCluster(t, 100, nil)
+	resH, err := healthy.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := smallCluster(t, 100, func(cc *ClusterConfig) { cc.DeadFraction = 0.8 })
+	resF, err := faulty.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh := resH.DeadlineRate(healthy.cfg.Core.Deadline)
+	rf := resF.DeadlineRate(faulty.cfg.Core.Deadline)
+	if rf >= rh {
+		t.Fatalf("80%% dead nodes did not degrade: healthy=%v faulty=%v", rh, rf)
+	}
+}
+
+func TestSlotWithholdingDetected(t *testing.T) {
+	// The builder withholds the maximal non-reconstructable square
+	// (Fig. 3-right). No live node may complete sampling: unavailability
+	// is systematically detected.
+	c := smallCluster(t, 100, nil)
+	n := c.cfg.Core.Blob.N()
+	h := n/2 + 1
+	c.Builder().SetWithholding(func(id blob.CellID) bool {
+		return int(id.Row) < h && int(id.Col) < h
+	})
+	res, err := c.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeding.Withheld == 0 {
+		t.Fatal("withholding did not suppress any cells")
+	}
+	sampled := 0
+	for _, o := range res.Outcomes {
+		if o.Sampling >= 0 {
+			sampled++
+		}
+	}
+	// With 8 samples over a 32x32 matrix and a 17x17 withheld square,
+	// the per-node false-positive bound is (1-0.28)^8 ~ 7%; allow slack
+	// but the vast majority must detect unavailability.
+	if frac := float64(sampled) / float64(len(res.Outcomes)); frac > 0.2 {
+		t.Fatalf("%.0f%% of nodes wrongly considered withheld data available", frac*100)
+	}
+	for _, o := range res.Outcomes {
+		if o.SampleVote != consensus.VoteInvalid && o.Sampling < 0 {
+			t.Fatal("node with failed sampling attested valid")
+		}
+	}
+}
+
+func TestSlotAttestations(t *testing.T) {
+	c := smallCluster(t, 80, func(cc *ClusterConfig) { cc.BlockGossip = true })
+	res, err := c.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validVotes := 0
+	for i, o := range res.Outcomes {
+		if o.BlockRecv < 0 {
+			t.Errorf("node %d never received the block", i)
+			continue
+		}
+		if o.SampleVote == consensus.VoteValid {
+			validVotes++
+		}
+	}
+	if frac := float64(validVotes) / float64(len(res.Outcomes)); frac < 0.95 {
+		t.Fatalf("only %.0f%% of nodes attested valid", frac*100)
+	}
+}
+
+func TestSlotRealPayloadsEndToEnd(t *testing.T) {
+	// Full data plane: real cells, erasure reconstruction, commitment
+	// verification, proposer signatures.
+	c := smallCluster(t, 60, func(cc *ClusterConfig) {
+		cc.Core.RealPayloads = true
+		cc.VerifySeeds = true
+	})
+	data := make([]byte, c.cfg.Core.Blob.BlobBytes())
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := c.Builder().PrepareBlob(data); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := res.DeadlineRate(c.cfg.Core.Deadline); rate < 0.95 {
+		t.Fatalf("real-payload deadline rate %v", rate)
+	}
+	// Spot-check that a node's reconstructed custody matches the
+	// builder's extension.
+	node := c.Nodes()[0]
+	a := c.Table().Assignment(0)
+	l := a.Lines()[0]
+	for pos := 0; pos < c.cfg.Core.Blob.N(); pos++ {
+		id := cellOnLine(l, pos)
+		cell, ok := node.Store().Get(id)
+		if !ok {
+			t.Fatalf("node 0 missing custody cell %v", id)
+		}
+		want := c.Builder().extended.Cell(id)
+		if string(cell.Data) != string(want) {
+			t.Fatalf("node 0 cell %v differs from builder", id)
+		}
+	}
+}
+
+func TestSlotDeterministicAcrossRuns(t *testing.T) {
+	run := func() []time.Duration {
+		c := smallCluster(t, 60, nil)
+		res, err := c.RunSlot(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]time.Duration, len(res.Outcomes))
+		for i, o := range res.Outcomes {
+			out[i] = o.Sampling
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d sampling time differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMultipleSlots(t *testing.T) {
+	c := smallCluster(t, 60, nil)
+	for slot := uint64(1); slot <= 3; slot++ {
+		res, err := c.RunSlot(slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate := res.DeadlineRate(c.cfg.Core.Deadline); rate < 1.0 {
+			t.Fatalf("slot %d deadline rate %v", slot, rate)
+		}
+	}
+}
+
+func TestRoundStatsRecorded(t *testing.T) {
+	c := smallCluster(t, 100, nil)
+	res, err := c.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRounds := 0
+	for _, o := range res.Outcomes {
+		if len(o.Rounds) > 0 {
+			withRounds++
+			if o.Rounds[0].MsgsSent == 0 && o.Rounds[0].CellsRequested > 0 {
+				t.Fatal("round recorded cells without messages")
+			}
+		}
+	}
+	if withRounds == 0 {
+		t.Fatal("no node recorded fetch rounds")
+	}
+}
+
+func TestConstantScheduleIsSlower(t *testing.T) {
+	// Fig. 11: the non-adaptive baseline must not beat adaptive fetching
+	// at the tail.
+	adaptive := smallCluster(t, 120, nil)
+	resA, err := adaptive.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	constant := smallCluster(t, 120, func(cc *ClusterConfig) {
+		cc.Core.Schedule = constantScheduleForTest()
+	})
+	resC, err := constant.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxA := maxSampling(resA)
+	maxC := maxSampling(resC)
+	if maxC < maxA {
+		t.Fatalf("constant fetching faster at the tail: %v < %v", maxC, maxA)
+	}
+}
+
+func maxSampling(res *SlotResult) time.Duration {
+	var m time.Duration
+	for _, o := range res.Outcomes {
+		if o.Sampling > m {
+			m = o.Sampling
+		}
+	}
+	return m
+}
+
+func constantScheduleForTest() fetch.Schedule {
+	return fetch.ConstantSchedule(400*time.Millisecond, 1)
+}
+
+func TestLaggingNodeCatchesUpNextSlot(t *testing.T) {
+	// Paper 8.2: "Lagging nodes can perform multiple rounds of sample
+	// fetching per 12 s slot, enabling them to catch up once network
+	// conditions stabilize." A node dead during slot 1 recovers in
+	// slot 2.
+	c := smallCluster(t, 120, func(cc *ClusterConfig) { cc.DeadFraction = 0 })
+	victim := 7
+	if err := c.Network().SetDead(victim, true); err != nil {
+		t.Fatal(err)
+	}
+	res1, err := c.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Outcomes[victim].Sampling >= 0 {
+		t.Fatal("dead node completed sampling")
+	}
+	// The node comes back; the next slot must complete normally.
+	if err := c.Network().SetDead(victim, false); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c.RunSlot(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Outcomes[victim].Sampling < 0 {
+		t.Fatal("recovered node did not sample in the next slot")
+	}
+	if res2.Outcomes[victim].Sampling > c.cfg.Core.Deadline {
+		t.Fatalf("recovered node too slow: %v", res2.Outcomes[victim].Sampling)
+	}
+}
+
+func TestEpochRotationChangesAssignments(t *testing.T) {
+	// Short-liveness end to end: tables derived from different epoch
+	// seeds assign different lines, preventing targeted placement.
+	c := smallCluster(t, 50, nil)
+	a1 := c.Table().Assignment(3)
+	seed2 := c.randao.SeedFor(1)
+	ids2 := make([]ids.NodeID, 50)
+	for i := range ids2 {
+		ids2[i] = c.Table().ID(i)
+	}
+	t2, err := NewTable(c.cfg.Core.Assign, seed2, ids2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := t2.Assignment(3)
+	same := len(a1.Rows) == len(a2.Rows)
+	if same {
+		for i := range a1.Rows {
+			if a1.Rows[i] != a2.Rows[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("assignment did not rotate across epochs")
+	}
+}
+
+func TestCommitteeDecisionEndToEnd(t *testing.T) {
+	// Healthy slot: the committee accepts.
+	c := smallCluster(t, 100, func(cc *ClusterConfig) { cc.BlockGossip = true })
+	res, err := c.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := c.randao.SeedFor(0)
+	if got := res.CommitteeDecision(seed, 1, 32); got != consensus.DecisionAccept {
+		t.Fatalf("healthy slot rejected: %v", got)
+	}
+
+	// Withholding slot: the committee rejects.
+	w := smallCluster(t, 100, func(cc *ClusterConfig) { cc.BlockGossip = true })
+	n := w.cfg.Core.Blob.N()
+	h := n/2 + 1
+	w.Builder().SetWithholding(func(id blob.CellID) bool {
+		return int(id.Row) < h && int(id.Col) < h
+	})
+	wres, err := w.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wres.CommitteeDecision(w.randao.SeedFor(0), 1, 32); got != consensus.DecisionReject {
+		t.Fatalf("withholding slot accepted: %v", got)
+	}
+}

@@ -1,0 +1,845 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"math/rand"
+	"sort"
+	"time"
+
+	"pandas/internal/blob"
+	"pandas/internal/fetch"
+	"pandas/internal/ids"
+	"pandas/internal/wire"
+)
+
+// RoundStat captures the fetching progress of one node during one round,
+// the quantities reported in Table 1 of the paper.
+type RoundStat struct {
+	MsgsSent          int
+	CellsRequested    int
+	RepliesInRound    int
+	RepliesAfterRound int
+	CellsInRound      int
+	CellsAfterRound   int
+	Duplicates        int
+	Reconstructed     int
+	// CoverageAfter is the cumulative fraction of the node's initial
+	// fetch set satisfied when the NEXT round began.
+	CoverageAfter float64
+}
+
+// NodeMetrics aggregates one node's per-slot observations.
+type NodeMetrics struct {
+	// Phase completion (absolute virtual times; valid when the Has* /
+	// Consolidated / Sampled flags are set).
+	FirstSeedAt    time.Duration
+	SeedAt         time.Duration // last seed datagram received
+	ConsolidatedAt time.Duration
+	SampledAt      time.Duration
+	HasSeed        bool
+	Consolidated   bool
+	Sampled        bool
+
+	// Seeding counters.
+	SeedCells      int
+	SeedDuplicates int
+
+	// Fetch-phase traffic (queries + responses, both directions),
+	// excluding seeding. This is the quantity of Fig. 10.
+	FetchMsgsSent  int
+	FetchMsgsRecv  int
+	FetchBytesSent int64
+	FetchBytesRecv int64
+
+	// Rounds holds per-round statistics (Table 1).
+	Rounds []RoundStat
+
+	// InitialFetchSet is |F| when fetching began.
+	InitialFetchSet int
+}
+
+// inflightTTL is how long an unanswered query still counts toward a
+// cell's redundancy target before other peers are asked instead. Queried
+// peers that lack a cell buffer the request and reply once their own
+// seeding/consolidation delivers it — typically within the builder's
+// ~1 s transmission window — so expiring earlier only produces duplicate
+// deliveries, while expiring much later delays recovery from genuinely
+// lost responses.
+const inflightTTL = 1600 * time.Millisecond
+
+// flushDelay is the coalescing window for replies to buffered queries.
+const flushDelay = 25 * time.Millisecond
+
+type boostParcel struct {
+	line  blob.Line
+	start int
+	count int
+}
+
+// Node is one PANDAS participant: it custodies assigned rows/columns,
+// consolidates them from peers, answers custody queries, and samples
+// random cells — all per slot.
+type Node struct {
+	cfg   Config
+	index int
+	table *Table
+	tr    Transport
+	rng   *rand.Rand
+
+	// inView reports whether a peer is in this node's (possibly
+	// incomplete) view; nil means the full view.
+	inView func(peer int) bool
+
+	// verifySeeds enables proposer-signature checks on seed messages.
+	verifySeeds bool
+	proposerPub ed25519.PublicKey
+
+	// Per-slot state.
+	slot       uint64
+	store      *Store
+	samples    []blob.CellID
+	sampleSet  map[blob.CellID]bool
+	pendingSmp map[blob.CellID]bool
+	boost      map[int][]boostParcel
+	queried    map[int]bool
+	queryRound map[int]int
+	buffered   map[blob.CellID]map[int]bool
+	round      int
+	lastRearm  int
+	roundEnds  []time.Duration
+	fetching   bool
+	seedTimer  bool
+	seedChunks int
+	seedDone   bool
+	// promised holds cells the builder's CB map says are being seeded to
+	// THIS node; they are excluded from fetching until the seed batch
+	// completes or goes quiet (pipelining: fetch what peers have while
+	// the builder is still transmitting, without re-requesting what is
+	// already on its way).
+	promised map[blob.CellID]bool
+	// outstanding maps cells with in-flight queries to the expiry times
+	// of those queries; unexpired entries count toward the redundancy
+	// target so rounds do not re-request what is already on its way.
+	outstanding map[blob.CellID][]time.Duration
+	// pendingOut coalesces responses to buffered queries: cells often
+	// land in bursts (seed chunks, reconstruction), and answering each
+	// arrival individually would multiply message counts. A short timer
+	// flushes the batch.
+	pendingOut map[int][]wire.Cell
+	flushArmed bool
+	// cbSeeded records, per assigned line, which positions the builder's
+	// CB map says were seeded SOMEWHERE; those are the cheap cells to
+	// fetch and are preferred when choosing which missing cells to
+	// request.
+	cbSeeded map[blob.Line]map[int]bool
+
+	// Metrics for the current slot.
+	Metrics NodeMetrics
+}
+
+// NewNode creates a node bound to a transport address. rngSeed drives the
+// node's local (unpredictable to others) choices: sample selection.
+func NewNode(cfg Config, index int, table *Table, tr Transport, rngSeed int64) *Node {
+	return &Node{
+		cfg:   cfg,
+		index: index,
+		table: table,
+		tr:    tr,
+		rng:   rand.New(rand.NewSource(rngSeed)),
+	}
+}
+
+// SetView restricts the node's knowledge of the network. Passing nil
+// restores the complete view.
+func (n *Node) SetView(inView func(peer int) bool) { n.inView = inView }
+
+// SetSeedVerification enables proposer-signature verification of seeding
+// messages against the given proposer public key.
+func (n *Node) SetSeedVerification(pub ed25519.PublicKey) {
+	n.verifySeeds = pub != nil
+	n.proposerPub = pub
+}
+
+// Index returns the node's transport address.
+func (n *Node) Index() int { return n.index }
+
+// Transport returns the node's transport (for callers that need its
+// clock, e.g. converting completion times across endpoints).
+func (n *Node) Transport() Transport { return n.tr }
+
+// Store exposes the current slot's custody store (for inspection).
+func (n *Node) Store() *Store { return n.store }
+
+// Samples returns the cells selected for sampling this slot.
+func (n *Node) Samples() []blob.CellID { return n.samples }
+
+// StartSlot resets per-slot state: recomputes nothing (the assignment
+// lives in the shared epoch table), creates a fresh store, and draws the
+// slot's random sample set. Fetching does not start until seed cells
+// arrive, a custody query arms the seed-wait timer, or the fallback
+// timer (3x SeedWait) fires.
+func (n *Node) StartSlot(slot uint64) {
+	n.slot = slot
+	a := n.table.Assignment(n.index)
+	n.store = NewStore(n.cfg.Blob, a, n.cfg.RealPayloads, n.verifySeeds)
+	n.samples = n.drawSamples()
+	n.sampleSet = make(map[blob.CellID]bool, len(n.samples))
+	n.pendingSmp = make(map[blob.CellID]bool, len(n.samples))
+	for _, c := range n.samples {
+		n.sampleSet[c] = true
+		n.pendingSmp[c] = true
+	}
+	n.boost = make(map[int][]boostParcel)
+	n.queried = make(map[int]bool)
+	n.queryRound = make(map[int]int)
+	n.buffered = make(map[blob.CellID]map[int]bool)
+	n.round = 0
+	n.lastRearm = 0
+	n.roundEnds = n.roundEnds[:0]
+	n.fetching = false
+	n.seedTimer = false
+	n.seedChunks = 0
+	n.seedDone = false
+	n.promised = make(map[blob.CellID]bool)
+	n.outstanding = make(map[blob.CellID][]time.Duration)
+	n.cbSeeded = make(map[blob.Line]map[int]bool)
+	n.pendingOut = make(map[int][]wire.Cell)
+	n.flushArmed = false
+	n.Metrics = NodeMetrics{}
+
+	// Fallback: a node the builder does not know never receives seeds and
+	// may never be queried; it still must sample.
+	slotNow := slot
+	n.tr.After(3*n.cfg.SeedWait, func() {
+		if n.slot == slotNow && !n.Metrics.HasSeed && !n.fetching && !n.done() {
+			n.startFetch()
+		}
+	})
+}
+
+// drawSamples picks Samples distinct random cells, unpredictable to
+// other participants (unlike the custody assignment).
+func (n *Node) drawSamples() []blob.CellID {
+	total := n.cfg.Blob.ExtendedCells()
+	count := n.cfg.Samples
+	seen := make(map[int]bool, count)
+	out := make([]blob.CellID, 0, count)
+	for len(out) < count {
+		idx := n.rng.Intn(total)
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		out = append(out, blob.CellIDFromIndex(idx, n.cfg.Blob.N()))
+	}
+	return out
+}
+
+// HandleMessage dispatches a received protocol payload. It reports
+// whether the payload was a PANDAS message.
+func (n *Node) HandleMessage(from int, size int, payload any) bool {
+	switch m := payload.(type) {
+	case *wire.Seed:
+		n.onSeed(m)
+	case *wire.Query:
+		n.Metrics.FetchMsgsRecv++
+		n.Metrics.FetchBytesRecv += int64(size)
+		n.onQuery(from, m)
+	case *wire.Response:
+		n.Metrics.FetchMsgsRecv++
+		n.Metrics.FetchBytesRecv += int64(size)
+		n.onResponse(from, m)
+	default:
+		return false
+	}
+	return true
+}
+
+func (n *Node) onSeed(m *wire.Seed) {
+	if m.Slot != n.slot || n.store == nil {
+		return
+	}
+	if n.verifySeeds {
+		if !ids.VerifyFrom(n.proposerPub, wire.SeedSigningBytes(m.Slot, m.Builder), m.ProposerSig[:]) {
+			return // unauthenticated seeding: ignore
+		}
+	}
+	if _, ok := n.store.Commitment(); !ok {
+		n.store.SetCommitment(m.Commitment)
+	}
+	now := n.tr.Now()
+	if !n.Metrics.HasSeed {
+		n.Metrics.HasSeed = true
+		n.Metrics.FirstSeedAt = now
+	}
+	n.Metrics.SeedAt = now
+	n.Metrics.SeedCells += len(m.Cells)
+	n.seedChunks++
+	// Watchdog for lost tail chunks: if no further seed datagram lands
+	// within the seed-wait period, fetching starts with what we have.
+	// SeedAt doubles as the generation marker, so only the timer armed by
+	// the LAST chunk received fires the fetch.
+	generation := now
+	slotNow := n.slot
+	n.tr.After(n.cfg.SeedWait, func() {
+		if n.slot != slotNow || n.Metrics.SeedAt != generation {
+			return
+		}
+		// Seed flow went quiet without completing: any promised cells
+		// that never arrived were lost — fetch them from peers.
+		n.seedDone = true
+		n.promised = nil
+		if !n.fetching && !n.done() {
+			n.startFetch()
+		}
+	})
+	dups, _ := n.addCells(m.Cells)
+	n.Metrics.SeedDuplicates += dups
+	for _, e := range m.Boost {
+		peer := n.table.HolderAt(e.Line, int(e.HolderRef))
+		if peer < 0 {
+			continue
+		}
+		pos := n.cbSeeded[e.Line]
+		if pos == nil {
+			pos = make(map[int]bool)
+			n.cbSeeded[e.Line] = pos
+		}
+		for p := int(e.Start); p < int(e.Start)+int(e.Count); p++ {
+			pos[p] = true
+		}
+		if peer == n.index {
+			// Our own parcels: the builder is sending these cells to us.
+			for pos := int(e.Start); pos < int(e.Start)+int(e.Count); pos++ {
+				n.promised[cellOnLine(e.Line, pos)] = true
+			}
+			continue
+		}
+		n.boost[peer] = append(n.boost[peer], boostParcel{line: e.Line, start: int(e.Start), count: int(e.Count)})
+	}
+	if n.seedChunks >= int(m.ChunkCount) {
+		// Full batch landed: everything still missing is fair game.
+		n.seedDone = true
+		n.promised = nil
+	}
+	// The reception of seed cells triggers consolidation and sampling
+	// (Fig. 5). Cells still being transmitted by the builder are excluded
+	// from F via the promised set, so the pipeline starts immediately
+	// without re-requesting in-flight seed data.
+	if !n.fetching && !n.done() {
+		n.startFetch()
+	} else if n.fetching && n.seedDone {
+		n.updateCompletion()
+	}
+}
+
+func (n *Node) onQuery(from int, m *wire.Query) {
+	if m.Slot != n.slot || n.store == nil {
+		return
+	}
+	var have []wire.Cell
+	for _, id := range m.Cells {
+		if c, ok := n.store.Get(id); ok {
+			have = append(have, c)
+			continue
+		}
+		if n.store.Covered(id) {
+			// Assigned but not yet received: buffer, reply when it lands
+			// (no negative acknowledgements).
+			reqs, ok := n.buffered[id]
+			if !ok {
+				reqs = make(map[int]bool, 1)
+				n.buffered[id] = reqs
+			}
+			reqs[from] = true
+		}
+	}
+	n.sendCells(from, have)
+
+	// A request for a slot we have no seed cells for arms the seed-wait
+	// timer (Section 6.2): if the builder's seeds never arrive (packet
+	// loss, or the builder does not know this node), fetching starts
+	// regardless. The timer is generous — three seed-wait periods — so
+	// that nodes seeded late in the builder's ~1 s transmission schedule
+	// still start from their seed batch rather than from nothing, which
+	// keeps round-1 queries aimed at peers that already hold data (the
+	// paper's Table 1 dynamics).
+	if !n.Metrics.HasSeed && !n.fetching && !n.seedTimer {
+		n.seedTimer = true
+		slotNow := n.slot
+		n.tr.After(3*n.cfg.SeedWait, func() {
+			if n.slot == slotNow && !n.Metrics.HasSeed && !n.fetching && !n.done() {
+				n.startFetch()
+			}
+		})
+	}
+}
+
+func (n *Node) onResponse(from int, m *wire.Response) {
+	if m.Slot != n.slot || n.store == nil {
+		return
+	}
+	// Attribute the reply to the round in which the peer was queried.
+	if r, ok := n.queryRound[from]; ok && r >= 1 && r <= len(n.roundEnds) {
+		stat := &n.Metrics.Rounds[r-1]
+		inRound := n.tr.Now() <= n.roundEnds[r-1]
+		if inRound {
+			stat.RepliesInRound++
+			stat.CellsInRound += len(m.Cells)
+		} else {
+			stat.RepliesAfterRound++
+			stat.CellsAfterRound += len(m.Cells)
+		}
+		dups, _ := n.addCells(m.Cells)
+		stat.Duplicates += dups
+		return
+	}
+	n.addCells(m.Cells)
+}
+
+// addCells ingests a batch of cells: store them, satisfy samples, flush
+// buffered queries, attempt erasure reconstruction, and update phase
+// completion. It returns the duplicate count and the number of cells
+// added.
+func (n *Node) addCells(cells []wire.Cell) (dups, added int) {
+	if len(cells) == 0 {
+		return 0, 0
+	}
+	touched := make(map[blob.Line]bool, 4)
+	for _, c := range cells {
+		ok, err := n.store.Add(c)
+		if err != nil || !ok {
+			dups++
+			continue
+		}
+		added++
+		n.cellLanded(c, touched)
+	}
+	// Erasure reconstruction of any custody line that crossed the
+	// half-full threshold (Algorithm 1, UPONRECEIVE).
+	recon := 0
+	lines := make([]blob.Line, 0, len(touched))
+	for line := range touched {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].Kind != lines[j].Kind {
+			return lines[i].Kind < lines[j].Kind
+		}
+		return lines[i].Index < lines[j].Index
+	})
+	for _, line := range lines {
+		newCells, err := n.store.TryReconstruct(line)
+		if err != nil {
+			continue
+		}
+		recon += len(newCells)
+		for _, c := range newCells {
+			n.cellLanded(c, nil)
+		}
+	}
+	if recon > 0 && n.round >= 1 && n.round <= len(n.Metrics.Rounds) {
+		n.Metrics.Rounds[n.round-1].Reconstructed += recon
+	}
+	n.armFlush()
+	n.updateCompletion()
+	return dups, added
+}
+
+// armFlush schedules a coalesced transmission of buffered-query replies.
+func (n *Node) armFlush() {
+	if n.flushArmed || len(n.pendingOut) == 0 {
+		return
+	}
+	n.flushArmed = true
+	slotNow := n.slot
+	n.tr.After(flushDelay, func() {
+		if n.slot != slotNow {
+			return
+		}
+		n.flushArmed = false
+		recipients := make([]int, 0, len(n.pendingOut))
+		for to := range n.pendingOut {
+			recipients = append(recipients, to)
+		}
+		sort.Ints(recipients)
+		for _, to := range recipients {
+			n.sendCells(to, n.pendingOut[to])
+		}
+		n.pendingOut = make(map[int][]wire.Cell)
+	})
+}
+
+// cellLanded performs the bookkeeping for one newly present cell.
+func (n *Node) cellLanded(c wire.Cell, touched map[blob.Line]bool) {
+	if n.pendingSmp[c.ID] {
+		delete(n.pendingSmp, c.ID)
+	}
+	delete(n.outstanding, c.ID)
+	if reqs, ok := n.buffered[c.ID]; ok {
+		full, _ := n.store.Get(c.ID)
+		for to := range reqs {
+			n.pendingOut[to] = append(n.pendingOut[to], full)
+		}
+		delete(n.buffered, c.ID)
+	}
+	if touched != nil {
+		rowLine := blob.Line{Kind: blob.Row, Index: c.ID.Row}
+		colLine := blob.Line{Kind: blob.Col, Index: c.ID.Col}
+		if n.store.LineCount(rowLine) > 0 && !n.store.LineComplete(rowLine) {
+			touched[rowLine] = true
+		}
+		if n.store.LineCount(colLine) > 0 && !n.store.LineComplete(colLine) {
+			touched[colLine] = true
+		}
+	}
+}
+
+// updateCompletion records consolidation and sampling completion times.
+func (n *Node) updateCompletion() {
+	now := n.tr.Now()
+	if !n.Metrics.Consolidated && n.store.CompleteLines() == n.store.TrackedLines() {
+		n.Metrics.Consolidated = true
+		n.Metrics.ConsolidatedAt = now
+	}
+	if !n.Metrics.Sampled && len(n.pendingSmp) == 0 {
+		n.Metrics.Sampled = true
+		n.Metrics.SampledAt = now
+	}
+}
+
+func (n *Node) done() bool {
+	if n.cfg.DisableConsolidation {
+		return n.Metrics.Sampled
+	}
+	return n.Metrics.Consolidated && n.Metrics.Sampled
+}
+
+// DeliverCustody ingests custody cells that arrived outside the PANDAS
+// seeding path (e.g. via the GossipSub baseline's topic meshes). It
+// triggers the sampling fetcher on first delivery.
+func (n *Node) DeliverCustody(cells []wire.Cell) {
+	if n.store == nil {
+		return
+	}
+	n.addCells(cells)
+	if !n.fetching && !n.done() {
+		n.startFetch()
+	}
+}
+
+// sendCells transmits cells to a peer in datagram-sized chunks.
+func (n *Node) sendCells(to int, cells []wire.Cell) {
+	for len(cells) > 0 {
+		chunk := cells
+		if len(chunk) > n.cfg.MaxCellsPerMsg {
+			chunk = cells[:n.cfg.MaxCellsPerMsg]
+		}
+		cells = cells[len(chunk):]
+		m := &wire.Response{Slot: n.slot, Cells: chunk}
+		size := m.WireSize(n.cfg.Blob.CellBytes)
+		n.Metrics.FetchMsgsSent++
+		n.Metrics.FetchBytesSent += int64(size)
+		n.tr.Send(to, size, m)
+	}
+}
+
+// startFetch begins the adaptive fetching process (consolidation and
+// sampling share it).
+func (n *Node) startFetch() {
+	n.fetching = true
+	n.Metrics.InitialFetchSet = len(n.missingCells())
+	n.runRound()
+}
+
+// missingCellsInto is the allocation-light core of missingCells.
+
+// missingCells computes F: custody cells not yet present plus samples not
+// yet present.
+func (n *Node) missingCells() []blob.CellID {
+	var out []blob.CellID
+	seen := make(map[blob.CellID]bool)
+	if !n.cfg.DisableConsolidation {
+		a := n.table.Assignment(n.index)
+		half := n.cfg.Blob.K
+		margin := half / 4
+		if margin < 2 {
+			margin = 2
+		}
+		promisedOn := make(map[blob.Line]int)
+		for id := range n.promised {
+			promisedOn[blob.Line{Kind: blob.Row, Index: id.Row}]++
+			promisedOn[blob.Line{Kind: blob.Col, Index: id.Col}]++
+		}
+		for _, l := range a.Lines() {
+			have := n.store.LineCount(l)
+			if have >= n.cfg.Blob.N() {
+				continue
+			}
+			// Rational fetching: a line reconstructs from any K of its 2K
+			// cells, so request only up to K+margin present cells rather
+			// than every missing one — the erasure code supplies the rest.
+			// Requesting everything would turn the decoder's surplus into
+			// duplicate deliveries (and wasted bandwidth) for half a line.
+			// Cells the builder has promised this node (its own CB
+			// parcels, still in flight) count as good as received.
+			needed := half + margin - have - promisedOn[l]
+			if needed <= 0 {
+				// Already past the threshold; reconstruction will fire as
+				// soon as the in-flight cells land.
+				continue
+			}
+			missing := n.store.MissingOnLine(l)
+			seeded := n.cbSeeded[l]
+			// Prefer positions the builder actually seeded somewhere, and
+			// rotate the starting point with the round number so that a
+			// cell that turns out to be unobtainable (lost response, dead
+			// holder) does not pin the same subset forever.
+			picked := 0
+			for pass := 0; pass < 2 && picked < needed; pass++ {
+				off := 0
+				if len(missing) > 0 {
+					off = (n.round * 13) % len(missing)
+				}
+				for i := range missing {
+					if picked >= needed {
+						break
+					}
+					pos := missing[(i+off)%len(missing)]
+					if (pass == 0) != seeded[pos] {
+						continue
+					}
+					id := cellOnLine(l, pos)
+					if seen[id] || n.promised[id] {
+						continue
+					}
+					seen[id] = true
+					out = append(out, id)
+					picked++
+				}
+			}
+		}
+	}
+	for _, id := range n.samples {
+		if n.pendingSmp[id] && !seen[id] && !n.promised[id] && !n.store.Has(id) {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// runRound executes one round of Algorithm 1 and schedules the next.
+func (n *Node) runRound() {
+	if n.store == nil || !n.fetching {
+		n.fetching = false
+		return
+	}
+	F := n.missingCells()
+	// Record cumulative coverage for the round that just ended (also when
+	// the fetch completed during it).
+	if n.round >= 1 && n.round <= len(n.Metrics.Rounds) && n.Metrics.InitialFetchSet > 0 {
+		n.Metrics.Rounds[n.round-1].CoverageAfter =
+			1 - float64(len(F))/float64(n.Metrics.InitialFetchSet)
+	}
+	if n.done() {
+		n.fetching = false
+		return
+	}
+	if n.round >= n.cfg.Schedule.MaxRounds {
+		n.fetching = false
+		return
+	}
+	n.round++
+	if len(F) == 0 {
+		n.updateCompletion()
+		n.fetching = false
+		return
+	}
+	stat := RoundStat{}
+	// Periodic re-arm: with single-copy data (the minimal policy) a lost
+	// response can leave a cell whose only live holder has already been
+	// queried; clearing the queried set every few rounds lets the node
+	// retry it. In-flight markers keep this from duplicating requests in
+	// the common case.
+	if n.round > 1 && n.round-n.lastRearm >= 8 {
+		n.lastRearm = n.round
+		n.queried = make(map[int]bool)
+	}
+	plan := n.planRound(F)
+	if len(plan) == 0 && len(F) > 0 && n.round > 1 && n.round-n.lastRearm >= 4 {
+		// Every queryable peer has been used while cells remain missing —
+		// possible because earlier rounds requested only budgeted subsets
+		// of each line. Re-arm the queryable set (a fresh Q <- V sweep);
+		// in-flight markers still prevent immediate duplicate requests,
+		// and the sweep is rate-limited to one per four rounds.
+		n.lastRearm = n.round
+		n.queried = make(map[int]bool)
+		plan = n.planRound(F)
+	}
+	for _, q := range plan {
+		peer := q.Peer
+		n.queried[peer] = true
+		n.queryRound[peer] = n.round
+		cells := make([]blob.CellID, len(q.Cells))
+		for i, idx := range q.Cells {
+			cells[i] = F[idx]
+		}
+		stat.CellsRequested += len(cells)
+		for len(cells) > 0 {
+			chunk := cells
+			if len(chunk) > n.cfg.MaxCellsPerMsg {
+				chunk = cells[:n.cfg.MaxCellsPerMsg]
+			}
+			cells = cells[len(chunk):]
+			m := &wire.Query{Slot: n.slot, Cells: chunk}
+			size := m.WireSize(n.cfg.Blob.CellBytes)
+			stat.MsgsSent++
+			n.Metrics.FetchMsgsSent++
+			n.Metrics.FetchBytesSent += int64(size)
+			n.tr.Send(peer, size, m)
+		}
+	}
+	timeout := n.cfg.Schedule.Timeout(n.round)
+	n.Metrics.Rounds = append(n.Metrics.Rounds, stat)
+	n.roundEnds = append(n.roundEnds, n.tr.Now()+timeout)
+	n.tr.After(timeout, n.runRound)
+}
+
+// planRound builds scored candidates over the holders of every line that
+// intersects F and plans queries with the round's redundancy factor.
+func (n *Node) planRound(F []blob.CellID) []fetch.Query {
+	index := make(map[blob.CellID]int, len(F))
+	for i, id := range F {
+		index[id] = i
+	}
+	// Group F by line (both the row and the column of each cell can
+	// serve it).
+	lineCells := make(map[blob.Line][]int)
+	for i, id := range F {
+		rl := blob.Line{Kind: blob.Row, Index: id.Row}
+		cl := blob.Line{Kind: blob.Col, Index: id.Col}
+		lineCells[rl] = append(lineCells[rl], i)
+		lineCells[cl] = append(lineCells[cl], i)
+	}
+	// Score candidate peers: coverage per shared line plus boost.
+	scores := make(map[int]int)
+	for line, cells := range lineCells {
+		for _, peer := range n.table.Holders(line) {
+			if peer == n.index || n.queried[peer] {
+				continue
+			}
+			if n.inView != nil && !n.inView(peer) {
+				continue
+			}
+			scores[peer] += len(cells)
+		}
+	}
+	// Consolidation boost: peers the builder's CB map lists as seeded
+	// with cells still missing. Their score gets the cb_boost bonus, and
+	// — crucially — the query planned for them targets exactly their
+	// seeded cells, so round 1 pulls every cell from a peer that already
+	// HAS it rather than from a peer that would buffer the request until
+	// its own consolidation finishes.
+	boostedCells := make(map[int][]int)
+	stamp := make([]int, len(F))
+	stampVal := 0
+	for peer, parcels := range n.boost {
+		if _, ok := scores[peer]; !ok {
+			continue // dead view / already queried / not a holder
+		}
+		stampVal++
+		var cells []int
+		for _, p := range parcels {
+			for pos := p.start; pos < p.start+p.count; pos++ {
+				if idx, ok := index[cellOnLine(p.line, pos)]; ok && stamp[idx] != stampVal {
+					stamp[idx] = stampVal
+					cells = append(cells, idx)
+				}
+			}
+		}
+		if len(cells) > 0 {
+			boostedCells[peer] = cells
+			scores[peer] += len(cells) * n.cfg.CBBoost
+		}
+	}
+	scored := make([]fetch.Scored, 0, len(scores))
+	for peer, s := range scores {
+		scored = append(scored, fetch.Scored{Peer: peer, Score: s})
+	}
+	// Deterministic candidate order under equal scores.
+	sortScoredByPeer(scored)
+
+	// Sample cells have no CB entries; boosted peers may still cover
+	// them through their assignments.
+	var sampleIdx []int
+	for i, id := range F {
+		if n.pendingSmp[id] {
+			sampleIdx = append(sampleIdx, i)
+		}
+	}
+	cellsOf := func(peer int) []int {
+		if bc, ok := boostedCells[peer]; ok {
+			out := bc
+			a := n.table.Assignment(peer)
+			for _, idx := range sampleIdx {
+				if a.Covers(F[idx]) {
+					dup := false
+					for _, x := range bc {
+						if x == idx {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						out = append(out, idx)
+					}
+				}
+			}
+			return out
+		}
+		var out []int
+		for _, l := range n.table.Assignment(peer).Lines() {
+			for _, idx := range lineCells[l] {
+				if stamp[idx] != -(peer + 1) {
+					stamp[idx] = -(peer + 1)
+					out = append(out, idx)
+				}
+			}
+		}
+		return out
+	}
+	k := n.cfg.Schedule.RedundancyAt(n.round)
+	// Unexpired in-flight queries count toward each cell's redundancy.
+	now := n.tr.Now()
+	counts := make([]int, len(F))
+	for i, id := range F {
+		exps := n.outstanding[id]
+		live := exps[:0]
+		for _, e := range exps {
+			if e > now {
+				live = append(live, e)
+			}
+		}
+		if len(live) == 0 {
+			delete(n.outstanding, id)
+		} else {
+			n.outstanding[id] = live
+		}
+		counts[i] = len(live)
+	}
+	plan := fetch.PlanLazyFrom(scored, counts, k, cellsOf)
+	expiry := now + inflightTTL
+	for _, q := range plan {
+		for _, idx := range q.Cells {
+			n.outstanding[F[idx]] = append(n.outstanding[F[idx]], expiry)
+		}
+	}
+	return plan
+}
+
+// sortScoredByPeer orders candidates by peer index so that equal-score
+// ordering is deterministic across runs (map iteration is not).
+func sortScoredByPeer(s []fetch.Scored) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Peer < s[j].Peer })
+}

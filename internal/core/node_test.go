@@ -1,0 +1,307 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"pandas/internal/assign"
+	"pandas/internal/blob"
+	"pandas/internal/ids"
+	"pandas/internal/wire"
+)
+
+func nodeFixture(t *testing.T, n int) (*Node, *Table, *captureTransport, Config) {
+	t.Helper()
+	cfg := TestConfig()
+	nodeIDs := make([]ids.NodeID, n)
+	for i := range nodeIDs {
+		nodeIDs[i] = ids.NewTestIdentity(int64(i)).ID
+	}
+	var seed assign.Seed
+	seed[0] = 3
+	table, err := NewTable(cfg.Assign, seed, nodeIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &captureTransport{}
+	node := NewNode(cfg, 0, table, tr, 11)
+	return node, table, tr, cfg
+}
+
+func seedFor(node *Node, table *Table, cfg Config, slot uint64, frac float64) *wire.Seed {
+	a := table.Assignment(node.Index())
+	m := &wire.Seed{Slot: slot, ChunkIndex: 0, ChunkCount: 1}
+	for _, l := range a.Lines() {
+		limit := int(float64(cfg.Blob.N()) * frac)
+		for pos := 0; pos < limit; pos++ {
+			m.Cells = append(m.Cells, wire.Cell{ID: cellOnLine(l, pos)})
+		}
+	}
+	return m
+}
+
+func TestNodeSeedTriggersFetch(t *testing.T) {
+	node, table, tr, cfg := nodeFixture(t, 60)
+	node.StartSlot(1)
+	if node.fetching {
+		t.Fatal("fetching before seeds")
+	}
+	node.HandleMessage(99, 100, seedFor(node, table, cfg, 1, 0.3))
+	if !node.fetching {
+		t.Fatal("complete seed batch did not start fetching")
+	}
+	if !node.Metrics.HasSeed || node.Metrics.SeedCells == 0 {
+		t.Fatal("seed metrics not recorded")
+	}
+	// Round 1 must have sent queries.
+	queries := 0
+	for _, s := range tr.sends {
+		if _, ok := s.payload.(*wire.Query); ok {
+			queries++
+		}
+	}
+	if queries == 0 {
+		t.Fatal("no queries sent in round 1")
+	}
+}
+
+func TestNodeIncompleteBatchPipelinesAndWatchdogExpiresPromises(t *testing.T) {
+	// Fetching is pipelined: it starts at the FIRST seed chunk, with
+	// cells the builder promised excluded from F. If the batch never
+	// completes, the watchdog declares the seed flow done and releases
+	// the promises.
+	node, table, tr, cfg := nodeFixture(t, 60)
+	node.StartSlot(1)
+	m := seedFor(node, table, cfg, 1, 0.3)
+	m.ChunkCount = 2 // claim another chunk is coming
+	node.HandleMessage(99, 100, m)
+	if !node.fetching {
+		t.Fatal("pipelined fetch did not start on first chunk")
+	}
+	if node.seedDone {
+		t.Fatal("batch marked done while a chunk is outstanding")
+	}
+	tr.advance(cfg.SeedWait + time.Millisecond)
+	if !node.seedDone {
+		t.Fatal("watchdog did not expire the seed flow")
+	}
+	if node.promised != nil && len(node.promised) > 0 {
+		t.Fatal("promises not released after watchdog")
+	}
+}
+
+func TestNodeIgnoresWrongSlot(t *testing.T) {
+	node, table, tr, cfg := nodeFixture(t, 60)
+	node.StartSlot(2)
+	node.HandleMessage(99, 100, seedFor(node, table, cfg, 1, 0.5)) // stale slot
+	if node.Metrics.HasSeed {
+		t.Fatal("accepted stale-slot seed")
+	}
+	_ = tr
+}
+
+func TestNodeQueryAnsweredFromStore(t *testing.T) {
+	node, table, tr, cfg := nodeFixture(t, 60)
+	node.StartSlot(1)
+	a := table.Assignment(0)
+	l := a.Lines()[0]
+	held := cellOnLine(l, 0)
+	node.HandleMessage(99, 100, &wire.Seed{
+		Slot: 1, ChunkIndex: 0, ChunkCount: 1,
+		Cells: []wire.Cell{{ID: held}},
+	})
+	tr.sends = nil
+	node.HandleMessage(7, 50, &wire.Query{Slot: 1, Cells: []blob.CellID{held}})
+	found := false
+	for _, s := range tr.sends {
+		if r, ok := s.payload.(*wire.Response); ok && s.to == 7 {
+			for _, c := range r.Cells {
+				if c.ID == held {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("held cell not served")
+	}
+	_ = cfg
+}
+
+func TestNodeQueryBufferedUntilCellArrives(t *testing.T) {
+	node, table, tr, cfg := nodeFixture(t, 60)
+	node.StartSlot(1)
+	a := table.Assignment(0)
+	l := a.Lines()[0]
+	wanted := cellOnLine(l, 5)
+
+	// Query for an assigned-but-missing cell: no response yet.
+	node.HandleMessage(7, 50, &wire.Query{Slot: 1, Cells: []blob.CellID{wanted}})
+	for _, s := range tr.sends {
+		if _, ok := s.payload.(*wire.Response); ok {
+			t.Fatal("responded before having the cell")
+		}
+	}
+	// Cell arrives via a seed; the buffered query must be answered after
+	// the coalescing window.
+	node.HandleMessage(99, 100, &wire.Seed{
+		Slot: 1, ChunkIndex: 0, ChunkCount: 1,
+		Cells: []wire.Cell{{ID: wanted}},
+	})
+	tr.advance(tr.now + flushDelay + time.Millisecond)
+	answered := false
+	for _, s := range tr.sends {
+		if r, ok := s.payload.(*wire.Response); ok && s.to == 7 {
+			for _, c := range r.Cells {
+				if c.ID == wanted {
+					answered = true
+				}
+			}
+		}
+	}
+	if !answered {
+		t.Fatal("buffered query never answered")
+	}
+	_ = cfg
+}
+
+func TestNodeUncoveredQueryIgnored(t *testing.T) {
+	node, table, tr, _ := nodeFixture(t, 60)
+	node.StartSlot(1)
+	// Find a cell NOT covered by node 0's assignment.
+	a := table.Assignment(0)
+	var uncovered blob.CellID
+	found := false
+	for r := 0; r < 32 && !found; r++ {
+		for c := 0; c < 32 && !found; c++ {
+			id := blob.CellID{Row: uint16(r), Col: uint16(c)}
+			if !a.Covers(id) {
+				uncovered, found = id, true
+			}
+		}
+	}
+	if !found {
+		t.Skip("assignment covers the whole matrix")
+	}
+	node.HandleMessage(7, 50, &wire.Query{Slot: 1, Cells: []blob.CellID{uncovered}})
+	if len(node.buffered) != 0 {
+		t.Fatal("buffered a query for an uncovered cell")
+	}
+	_ = tr
+}
+
+func TestNodePromisedCellsNotRequested(t *testing.T) {
+	node, table, tr, cfg := nodeFixture(t, 60)
+	node.StartSlot(1)
+	a := table.Assignment(0)
+	l := a.Lines()[0]
+	// Seed chunk 1 of 2: boost map promising positions [0, K) of line l to
+	// THIS node.
+	rank := table.HolderRank(l, 0)
+	if rank < 0 {
+		t.Fatal("node 0 must hold its own line")
+	}
+	m := &wire.Seed{
+		Slot: 1, ChunkIndex: 0, ChunkCount: 2,
+		Boost: []wire.BoostEntry{{
+			Line: l, HolderRef: uint16(rank), Start: 0, Count: uint16(cfg.Blob.K),
+		}},
+	}
+	node.HandleMessage(99, 100, m)
+	// Fetch starts via watchdog (batch incomplete).
+	tr.advance(cfg.SeedWait + time.Millisecond)
+	if !node.fetching {
+		t.Fatal("watchdog did not fire")
+	}
+	// Wait: watchdog expiry clears promises. Instead verify via direct
+	// missing computation BEFORE expiry on a fresh fixture.
+	node2 := NewNode(cfg, 0, table, &captureTransport{}, 12)
+	node2.StartSlot(1)
+	node2.HandleMessage(99, 100, m)
+	missing := node2.missingCells()
+	for _, id := range missing {
+		if l.Contains(id) && int(positionOn(l, id)) < cfg.Blob.K {
+			t.Fatalf("promised cell %v still requested", id)
+		}
+	}
+}
+
+// positionOn returns a cell's position along a line.
+func positionOn(l blob.Line, id blob.CellID) uint16 {
+	if l.Kind == blob.Row {
+		return id.Col
+	}
+	return id.Row
+}
+
+func TestNodeReconstructionCompletesLines(t *testing.T) {
+	node, table, tr, cfg := nodeFixture(t, 60)
+	node.StartSlot(1)
+	a := table.Assignment(0)
+	l := a.Lines()[0]
+	// Deliver exactly half of line l: reconstruction must complete it.
+	m := &wire.Seed{Slot: 1, ChunkIndex: 0, ChunkCount: 1}
+	for pos := 0; pos < cfg.Blob.K; pos++ {
+		m.Cells = append(m.Cells, wire.Cell{ID: cellOnLine(l, pos)})
+	}
+	node.HandleMessage(99, 100, m)
+	if !node.Store().LineComplete(l) {
+		t.Fatalf("line %v not reconstructed: %d cells", l, node.Store().LineCount(l))
+	}
+	_ = tr
+}
+
+func TestNodeSampleSatisfiedByResponse(t *testing.T) {
+	node, table, tr, cfg := nodeFixture(t, 60)
+	node.StartSlot(1)
+	node.HandleMessage(99, 100, seedFor(node, table, cfg, 1, 0.0)) // empty batch, starts fetch
+	if node.Metrics.Sampled {
+		t.Fatal("sampled with no data")
+	}
+	// Deliver all samples via responses.
+	var cells []wire.Cell
+	for _, s := range node.Samples() {
+		cells = append(cells, wire.Cell{ID: s})
+	}
+	node.HandleMessage(5, 100, &wire.Response{Slot: 1, Cells: cells})
+	if !node.Metrics.Sampled {
+		t.Fatal("samples delivered but not marked sampled")
+	}
+	if node.Metrics.SampledAt != tr.now {
+		t.Fatal("SampledAt not recorded")
+	}
+}
+
+func TestNodeSeedVerificationRejectsForgery(t *testing.T) {
+	node, table, tr, cfg := nodeFixture(t, 60)
+	proposer := ids.NewTestIdentity(1000)
+	node.SetSeedVerification(proposer.Public)
+	node.StartSlot(1)
+	m := seedFor(node, table, cfg, 1, 0.3) // zero signature = forged
+	node.HandleMessage(99, 100, m)
+	if node.Metrics.HasSeed {
+		t.Fatal("unsigned seed accepted")
+	}
+	// Properly signed seed is accepted.
+	builderID := ids.NewTestIdentity(999).ID
+	m2 := seedFor(node, table, cfg, 1, 0.3)
+	m2.Builder = builderID
+	copy(m2.ProposerSig[:], proposer.Sign(wire.SeedSigningBytes(1, builderID)))
+	node.HandleMessage(99, 100, m2)
+	if !node.Metrics.HasSeed {
+		t.Fatal("valid seed rejected")
+	}
+	_ = tr
+}
+
+func TestNodeFallbackTimerStartsFetchWithoutSeeds(t *testing.T) {
+	node, _, tr, cfg := nodeFixture(t, 60)
+	node.StartSlot(1)
+	tr.advance(3*cfg.SeedWait + time.Millisecond)
+	if !node.fetching {
+		t.Fatal("fallback timer did not start fetching")
+	}
+	if node.Metrics.HasSeed {
+		t.Fatal("HasSeed without seeds")
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"pandas/internal/assign"
+	"pandas/internal/blob"
+	"pandas/internal/kzg"
+	"pandas/internal/wire"
+)
+
+// Store errors.
+var (
+	ErrBadProof = errors.New("core: cell proof verification failed")
+)
+
+// Store is a node's per-slot custody state: presence bitmaps for its
+// assigned rows and columns (plus any sample cells outside them), and —
+// in real-payload mode — the cell bytes and proofs themselves.
+//
+// The store is deliberately sparse: a node never tracks the full 512x512
+// matrix, only its ~16 custody lines and 73 samples, keeping per-node
+// memory in the low kilobytes so simulations scale to 20,000 nodes. Line
+// lookup is a linear scan over at most a handful of entries, which
+// profiles faster than any map for these sizes and allocates nothing.
+type Store struct {
+	params blob.Params
+	n      int
+	real   bool
+
+	rowIdx []uint16
+	rowLS  []*lineState
+	colIdx []uint16
+	colLS  []*lineState
+
+	// extras holds cells outside every custody line (random samples).
+	extras map[blob.CellID]bool
+	// data holds payloads in real mode, keyed by flat cell index.
+	data map[int]wire.Cell
+
+	commitment    kzg.Commitment
+	hasCommitment bool
+	verify        bool
+}
+
+type lineState struct {
+	bits  []uint64
+	count int
+}
+
+func (ls *lineState) has(pos int) bool {
+	return ls.bits[pos/64]&(1<<uint(pos%64)) != 0
+}
+
+func (ls *lineState) set(pos int) bool {
+	w, b := pos/64, uint(pos%64)
+	if ls.bits[w]&(1<<b) != 0 {
+		return false
+	}
+	ls.bits[w] |= 1 << b
+	ls.count++
+	return true
+}
+
+// NewStore creates the custody store for one slot. The assignment fixes
+// which lines are tracked; real selects payload mode; verify enables
+// per-cell proof checks against the commitment (real mode only).
+func NewStore(p blob.Params, a assign.Assignment, real, verify bool) *Store {
+	s := &Store{
+		params: p,
+		n:      p.N(),
+		real:   real,
+		verify: verify && real,
+		extras: make(map[blob.CellID]bool),
+	}
+	if real {
+		s.data = make(map[int]wire.Cell)
+	}
+	words := (s.n + 63) / 64
+	for _, r := range a.Rows {
+		s.rowIdx = append(s.rowIdx, r)
+		s.rowLS = append(s.rowLS, &lineState{bits: make([]uint64, words)})
+	}
+	for _, c := range a.Cols {
+		s.colIdx = append(s.colIdx, c)
+		s.colLS = append(s.colLS, &lineState{bits: make([]uint64, words)})
+	}
+	return s
+}
+
+// SetCommitment records the blob commitment used for proof verification
+// and for proving reconstructed cells.
+func (s *Store) SetCommitment(c kzg.Commitment) {
+	s.commitment = c
+	s.hasCommitment = true
+}
+
+// Commitment returns the recorded commitment, if any.
+func (s *Store) Commitment() (kzg.Commitment, bool) {
+	return s.commitment, s.hasCommitment
+}
+
+// rowState returns the tracked state of a row, or nil.
+func (s *Store) rowState(r uint16) *lineState {
+	for i, x := range s.rowIdx {
+		if x == r {
+			return s.rowLS[i]
+		}
+	}
+	return nil
+}
+
+// colState returns the tracked state of a column, or nil.
+func (s *Store) colState(c uint16) *lineState {
+	for i, x := range s.colIdx {
+		if x == c {
+			return s.colLS[i]
+		}
+	}
+	return nil
+}
+
+// lineStateOf returns the tracked state of a line, or nil.
+func (s *Store) lineStateOf(l blob.Line) *lineState {
+	if l.Kind == blob.Row {
+		return s.rowState(l.Index)
+	}
+	return s.colState(l.Index)
+}
+
+// Covered reports whether the cell lies on one of the tracked custody
+// lines.
+func (s *Store) Covered(id blob.CellID) bool {
+	return s.rowState(id.Row) != nil || s.colState(id.Col) != nil
+}
+
+// Has reports whether the cell is present (on a custody line or as an
+// extra sample).
+func (s *Store) Has(id blob.CellID) bool {
+	if ls := s.rowState(id.Row); ls != nil {
+		return ls.has(int(id.Col))
+	}
+	if ls := s.colState(id.Col); ls != nil {
+		return ls.has(int(id.Row))
+	}
+	return s.extras[id]
+}
+
+// Add records a received cell. It returns false when the cell was already
+// present (a duplicate). In verifying mode the proof is checked first and
+// ErrBadProof returned on mismatch.
+func (s *Store) Add(c wire.Cell) (bool, error) {
+	if int(c.ID.Row) >= s.n || int(c.ID.Col) >= s.n {
+		return false, fmt.Errorf("%w: cell %v out of range", blob.ErrBadCell, c.ID)
+	}
+	if s.verify && s.hasCommitment {
+		if !kzg.Verify(s.commitment, c.ID, c.Data, c.Proof) {
+			return false, fmt.Errorf("%w: cell %v", ErrBadProof, c.ID)
+		}
+	}
+	added, covered := false, false
+	if ls := s.rowState(c.ID.Row); ls != nil {
+		covered = true
+		if ls.set(int(c.ID.Col)) {
+			added = true
+		}
+	}
+	if ls := s.colState(c.ID.Col); ls != nil {
+		covered = true
+		if ls.set(int(c.ID.Row)) {
+			added = true
+		}
+	}
+	if !covered && !s.extras[c.ID] {
+		s.extras[c.ID] = true
+		added = true
+	}
+	if added && s.real {
+		s.data[c.ID.Index(s.n)] = c
+	}
+	return added, nil
+}
+
+// Get returns the stored cell. In metadata mode the returned cell has a
+// nil payload but is valid for forwarding (sizes are charged in full).
+func (s *Store) Get(id blob.CellID) (wire.Cell, bool) {
+	if !s.Has(id) {
+		return wire.Cell{}, false
+	}
+	if s.real {
+		c, ok := s.data[id.Index(s.n)]
+		return c, ok
+	}
+	return wire.Cell{ID: id}, true
+}
+
+// LineCount returns the number of present cells on a tracked line
+// (zero for untracked lines).
+func (s *Store) LineCount(l blob.Line) int {
+	if ls := s.lineStateOf(l); ls != nil {
+		return ls.count
+	}
+	return 0
+}
+
+// LineComplete reports whether a tracked line is fully present.
+func (s *Store) LineComplete(l blob.Line) bool {
+	return s.LineCount(l) == s.n
+}
+
+// MissingOnLine returns the absent positions (0..n-1) of a tracked line.
+func (s *Store) MissingOnLine(l blob.Line) []int {
+	ls := s.lineStateOf(l)
+	if ls == nil || ls.count == s.n {
+		return nil
+	}
+	out := make([]int, 0, s.n-ls.count)
+	for w, word := range ls.bits {
+		inv := ^word
+		for inv != 0 {
+			b := bits.TrailingZeros64(inv)
+			pos := w*64 + b
+			if pos >= s.n {
+				break
+			}
+			out = append(out, pos)
+			inv &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// TryReconstruct completes a tracked line if it holds at least half of
+// its cells. It returns the cells newly materialized (nil if the line was
+// complete or below the threshold). In real mode the Reed-Solomon decoder
+// produces actual payloads and fresh proofs; in metadata mode presence
+// bits are simply filled in.
+func (s *Store) TryReconstruct(l blob.Line) ([]wire.Cell, error) {
+	ls := s.lineStateOf(l)
+	if ls == nil || ls.count == s.n || ls.count < s.n/2 {
+		return nil, nil
+	}
+	missing := s.MissingOnLine(l)
+	var newCells []wire.Cell
+	if s.real {
+		have := make(map[int][]byte, ls.count)
+		for pos := 0; pos < s.n; pos++ {
+			if !ls.has(pos) {
+				continue
+			}
+			id := cellOnLine(l, pos)
+			c, ok := s.data[id.Index(s.n)]
+			if !ok {
+				return nil, fmt.Errorf("core: line %v position %d marked present but payload missing", l, pos)
+			}
+			have[pos] = c.Data
+		}
+		full, err := blob.ReconstructLine(s.params, have)
+		if err != nil {
+			return nil, fmt.Errorf("core: reconstruct %v: %w", l, err)
+		}
+		for _, pos := range missing {
+			id := cellOnLine(l, pos)
+			c := wire.Cell{ID: id, Data: full[pos]}
+			if s.hasCommitment {
+				c.Proof = kzg.Prove(s.commitment, id, full[pos])
+			}
+			newCells = append(newCells, c)
+		}
+	} else {
+		for _, pos := range missing {
+			newCells = append(newCells, wire.Cell{ID: cellOnLine(l, pos)})
+		}
+	}
+	for _, c := range newCells {
+		if _, err := s.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	return newCells, nil
+}
+
+// cellOnLine returns the CellID at a position along a line.
+func cellOnLine(l blob.Line, pos int) blob.CellID {
+	if l.Kind == blob.Row {
+		return blob.CellID{Row: l.Index, Col: uint16(pos)}
+	}
+	return blob.CellID{Row: uint16(pos), Col: l.Index}
+}
+
+// CompleteLines returns how many tracked lines are fully present.
+func (s *Store) CompleteLines() int {
+	done := 0
+	for _, ls := range s.rowLS {
+		if ls.count == s.n {
+			done++
+		}
+	}
+	for _, ls := range s.colLS {
+		if ls.count == s.n {
+			done++
+		}
+	}
+	return done
+}
+
+// TrackedLines returns the number of custody lines.
+func (s *Store) TrackedLines() int { return len(s.rowLS) + len(s.colLS) }

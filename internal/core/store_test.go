@@ -1,0 +1,223 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pandas/internal/assign"
+	"pandas/internal/blob"
+	"pandas/internal/kzg"
+	"pandas/internal/wire"
+)
+
+func testAssignment() assign.Assignment {
+	return assign.Assignment{Rows: []uint16{1, 5}, Cols: []uint16{2, 9}}
+}
+
+func testStoreParams() blob.Params {
+	return blob.Params{K: 8, CellBytes: 32, ProofBytes: kzg.ProofSize}
+}
+
+func TestStoreAddHasCoverage(t *testing.T) {
+	s := NewStore(testStoreParams(), testAssignment(), false, false)
+	onRow := blob.CellID{Row: 1, Col: 7}
+	onCol := blob.CellID{Row: 14, Col: 2}
+	offBoth := blob.CellID{Row: 0, Col: 0}
+
+	if !s.Covered(onRow) || !s.Covered(onCol) || s.Covered(offBoth) {
+		t.Fatal("Covered wrong")
+	}
+	for _, id := range []blob.CellID{onRow, onCol, offBoth} {
+		if s.Has(id) {
+			t.Fatal("cell present before Add")
+		}
+		added, err := s.Add(wire.Cell{ID: id})
+		if err != nil || !added {
+			t.Fatalf("Add(%v) = %v, %v", id, added, err)
+		}
+		if !s.Has(id) {
+			t.Fatalf("Has(%v) false after Add", id)
+		}
+		added, err = s.Add(wire.Cell{ID: id})
+		if err != nil || added {
+			t.Fatal("duplicate Add should return false")
+		}
+	}
+	if s.LineCount(blob.Line{Kind: blob.Row, Index: 1}) != 1 {
+		t.Fatal("row count wrong")
+	}
+	if s.LineCount(blob.Line{Kind: blob.Col, Index: 2}) != 1 {
+		t.Fatal("col count wrong")
+	}
+	if s.LineCount(blob.Line{Kind: blob.Row, Index: 0}) != 0 {
+		t.Fatal("untracked line should count 0")
+	}
+}
+
+func TestStoreIntersectionCellCountsOnBothLines(t *testing.T) {
+	s := NewStore(testStoreParams(), testAssignment(), false, false)
+	// (1, 2) lies on tracked row 1 AND tracked col 2.
+	s.Add(wire.Cell{ID: blob.CellID{Row: 1, Col: 2}})
+	if s.LineCount(blob.Line{Kind: blob.Row, Index: 1}) != 1 ||
+		s.LineCount(blob.Line{Kind: blob.Col, Index: 2}) != 1 {
+		t.Fatal("intersection cell must count on both lines")
+	}
+}
+
+func TestStoreRejectsOutOfRange(t *testing.T) {
+	s := NewStore(testStoreParams(), testAssignment(), false, false)
+	if _, err := s.Add(wire.Cell{ID: blob.CellID{Row: 99, Col: 0}}); !errors.Is(err, blob.ErrBadCell) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStoreMissingOnLine(t *testing.T) {
+	p := testStoreParams()
+	s := NewStore(p, testAssignment(), false, false)
+	l := blob.Line{Kind: blob.Row, Index: 1}
+	for c := 0; c < 5; c++ {
+		s.Add(wire.Cell{ID: blob.CellID{Row: 1, Col: uint16(c)}})
+	}
+	missing := s.MissingOnLine(l)
+	if len(missing) != p.N()-5 {
+		t.Fatalf("missing = %d, want %d", len(missing), p.N()-5)
+	}
+	if missing[0] != 5 {
+		t.Fatalf("first missing = %d", missing[0])
+	}
+	if s.MissingOnLine(blob.Line{Kind: blob.Row, Index: 0}) != nil {
+		t.Fatal("untracked line should report nil")
+	}
+}
+
+func TestStoreMetadataReconstruct(t *testing.T) {
+	p := testStoreParams()
+	s := NewStore(p, testAssignment(), false, false)
+	l := blob.Line{Kind: blob.Row, Index: 5}
+	// Below half: no reconstruction.
+	for c := 0; c < p.K-1; c++ {
+		s.Add(wire.Cell{ID: blob.CellID{Row: 5, Col: uint16(c)}})
+	}
+	cells, err := s.TryReconstruct(l)
+	if err != nil || cells != nil {
+		t.Fatalf("below-half reconstruct = %v, %v", cells, err)
+	}
+	// At half: completes.
+	s.Add(wire.Cell{ID: blob.CellID{Row: 5, Col: uint16(p.K - 1)}})
+	cells, err = s.TryReconstruct(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != p.N()-p.K {
+		t.Fatalf("reconstructed %d cells, want %d", len(cells), p.N()-p.K)
+	}
+	if !s.LineComplete(l) {
+		t.Fatal("line not complete after reconstruct")
+	}
+	// Idempotent.
+	cells, err = s.TryReconstruct(l)
+	if err != nil || cells != nil {
+		t.Fatal("second reconstruct should be a no-op")
+	}
+}
+
+func TestStoreRealReconstructProducesRealBytes(t *testing.T) {
+	p := testStoreParams()
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, p.BlobBytes())
+	rng.Read(data)
+	base, err := blob.NewBlob(p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := blob.Extend(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	com := kzg.Commit(ext)
+
+	a := assign.Assignment{Rows: []uint16{3}, Cols: nil}
+	s := NewStore(p, a, true, true)
+	s.SetCommitment(com)
+	l := blob.Line{Kind: blob.Row, Index: 3}
+	// Feed the first half of row 3 with valid proofs.
+	for c := 0; c < p.K; c++ {
+		id := blob.CellID{Row: 3, Col: uint16(c)}
+		cell := wire.Cell{ID: id, Data: ext.Cell(id), Proof: kzg.Prove(com, id, ext.Cell(id))}
+		if _, err := s.Add(cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newCells, err := s.TryReconstruct(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newCells) != p.N()-p.K {
+		t.Fatalf("reconstructed %d", len(newCells))
+	}
+	// Reconstructed payloads must match the builder's extension and
+	// carry valid proofs.
+	for _, c := range newCells {
+		if !bytes.Equal(c.Data, ext.Cell(c.ID)) {
+			t.Fatalf("cell %v payload mismatch", c.ID)
+		}
+		if !kzg.Verify(com, c.ID, c.Data, c.Proof) {
+			t.Fatalf("cell %v proof invalid", c.ID)
+		}
+	}
+	// Served cells round-trip through Get.
+	got, ok := s.Get(blob.CellID{Row: 3, Col: uint16(p.N() - 1)})
+	if !ok || got.Data == nil {
+		t.Fatal("Get after reconstruct failed")
+	}
+}
+
+func TestStoreVerifyRejectsBadProof(t *testing.T) {
+	p := testStoreParams()
+	s := NewStore(p, testAssignment(), true, true)
+	s.SetCommitment(kzg.Commitment{1})
+	c := wire.Cell{ID: blob.CellID{Row: 1, Col: 0}, Data: make([]byte, p.CellBytes)}
+	// Proof is zero: must fail verification.
+	if _, err := s.Add(c); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("err = %v, want ErrBadProof", err)
+	}
+	if s.Has(c.ID) {
+		t.Fatal("bad cell stored")
+	}
+}
+
+func TestStoreExtrasForSamples(t *testing.T) {
+	s := NewStore(testStoreParams(), testAssignment(), false, false)
+	off := blob.CellID{Row: 12, Col: 13}
+	if s.Covered(off) {
+		t.Fatal("cell unexpectedly covered")
+	}
+	added, err := s.Add(wire.Cell{ID: off})
+	if err != nil || !added {
+		t.Fatal("extra cell add failed")
+	}
+	if !s.Has(off) {
+		t.Fatal("extra cell not present")
+	}
+	if _, ok := s.Get(off); !ok {
+		t.Fatal("extra cell not gettable")
+	}
+}
+
+func TestStoreCompleteLines(t *testing.T) {
+	p := testStoreParams()
+	a := assign.Assignment{Rows: []uint16{0}, Cols: []uint16{0}}
+	s := NewStore(p, a, false, false)
+	if s.TrackedLines() != 2 || s.CompleteLines() != 0 {
+		t.Fatal("initial line counts wrong")
+	}
+	for i := 0; i < p.N(); i++ {
+		s.Add(wire.Cell{ID: blob.CellID{Row: 0, Col: uint16(i)}})
+		s.Add(wire.Cell{ID: blob.CellID{Row: uint16(i), Col: 0}})
+	}
+	if s.CompleteLines() != 2 {
+		t.Fatalf("CompleteLines = %d", s.CompleteLines())
+	}
+}

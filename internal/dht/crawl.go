@@ -1,0 +1,57 @@
+package dht
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"pandas/internal/ids"
+)
+
+// Crawl enumerates the network by issuing FIND_NODE lookups toward a set
+// of random targets, accumulating every entry seen in the responses —
+// the mechanism Ethereum nodes use to build their views of the network
+// (the paper's §4.1: "views are filled by periodically crawling the
+// DHT", taking about a minute in practice).
+//
+// fanout controls how many random-target lookups are issued; done
+// receives the accumulated entries once every lookup concludes. More
+// fanout discovers more of the network: with k-bucket routing each
+// lookup surfaces O(K log N) entries around its target, so covering an
+// N-node network needs roughly N/K targets.
+func (p *Peer) Crawl(fanout int, seed int64, done func([]Entry)) {
+	if fanout < 1 {
+		fanout = 1
+	}
+	found := make(map[ids.NodeID]Entry)
+	remaining := fanout
+	finish := func(closest []Entry) {
+		for _, e := range closest {
+			found[e.ID] = e
+		}
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		// Also include everything the lookups taught the routing table.
+		for _, e := range p.rt.Closest(p.self.ID, p.rt.Size()) {
+			found[e.ID] = e
+		}
+		out := make([]Entry, 0, len(found))
+		for _, e := range found {
+			out = append(out, e)
+		}
+		SortByDistance(out, p.self.ID)
+		done(out)
+	}
+	for i := 0; i < fanout; i++ {
+		p.Lookup(crawlTarget(seed, i), finish)
+	}
+}
+
+// crawlTarget derives the i-th pseudo-random crawl target.
+func crawlTarget(seed int64, i int) ids.NodeID {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(seed))
+	binary.BigEndian.PutUint64(buf[8:], uint64(i))
+	return sha256.Sum256(buf[:])
+}

@@ -1,0 +1,180 @@
+package dht
+
+import (
+	"pandas/internal/ids"
+)
+
+// lookupState drives one iterative Kademlia lookup with Alpha-way
+// concurrency: repeatedly query the closest unqueried candidates, merge
+// their responses into the shortlist, and stop when the K closest known
+// entries have all been queried (or failed).
+type lookupState struct {
+	peer      *Peer
+	target    ids.NodeID
+	shortlist []Entry
+	queried   map[ids.NodeID]bool
+	failed    map[ids.NodeID]bool
+	inflight  int
+	done      bool
+	finish    func([]Entry)
+
+	// getMode: issue GetReq instead of FindNodeReq, stop early on Found.
+	getMode bool
+	onValue func(GetResp)
+}
+
+// Lookup performs an iterative FIND_NODE toward target and calls finish
+// with the K closest reachable entries.
+func (p *Peer) Lookup(target ids.NodeID, finish func([]Entry)) {
+	ls := &lookupState{
+		peer:      p,
+		target:    target,
+		queried:   make(map[ids.NodeID]bool),
+		failed:    make(map[ids.NodeID]bool),
+		finish:    finish,
+		shortlist: p.rt.Closest(target, K),
+	}
+	ls.step()
+}
+
+// Get performs an iterative FIND_VALUE for key. onValue receives the
+// successful response; onMiss runs if the lookup exhausts without finding
+// the value.
+func (p *Peer) Get(key ids.NodeID, onValue func(GetResp), onMiss func()) {
+	ls := &lookupState{
+		peer:      p,
+		target:    key,
+		queried:   make(map[ids.NodeID]bool),
+		failed:    make(map[ids.NodeID]bool),
+		getMode:   true,
+		onValue:   onValue,
+		finish:    func([]Entry) { onMiss() },
+		shortlist: p.rt.Closest(key, K),
+	}
+	ls.step()
+}
+
+// Put stores the value at the Replication closest reachable peers to key.
+// done receives the number of successful stores.
+func (p *Peer) Put(key ids.NodeID, size int, value any, done func(stored int)) {
+	p.Lookup(key, func(closest []Entry) {
+		if len(closest) > Replication {
+			closest = closest[:Replication]
+		}
+		if len(closest) == 0 {
+			done(0)
+			return
+		}
+		remaining := len(closest)
+		stored := 0
+		for _, e := range closest {
+			p.storeAt(e, key, size, value, func(ok bool) {
+				if ok {
+					stored++
+				}
+				remaining--
+				if remaining == 0 {
+					done(stored)
+				}
+			})
+		}
+	})
+}
+
+// step issues queries until Alpha are in flight or no candidates remain.
+func (ls *lookupState) step() {
+	if ls.done {
+		return
+	}
+	for ls.inflight < Alpha {
+		next, ok := ls.nextCandidate()
+		if !ok {
+			break
+		}
+		ls.queried[next.ID] = true
+		ls.inflight++
+		if ls.getMode {
+			ls.peer.getFrom(next, ls.target, func(resp GetResp, ok bool) {
+				ls.inflight--
+				if ls.done {
+					return
+				}
+				if !ok {
+					ls.failed[next.ID] = true
+				} else if resp.Found {
+					ls.done = true
+					ls.onValue(resp)
+					return
+				} else {
+					ls.merge(resp.Closest)
+				}
+				ls.step()
+			})
+		} else {
+			ls.peer.findNode(next, ls.target, func(resp FindNodeResp, ok bool) {
+				ls.inflight--
+				if ls.done {
+					return
+				}
+				if !ok {
+					ls.failed[next.ID] = true
+				} else {
+					ls.merge(resp.Closest)
+				}
+				ls.step()
+			})
+		}
+	}
+	if ls.inflight == 0 && !ls.done {
+		// No candidates left: conclude with the K closest successful.
+		ls.done = true
+		out := make([]Entry, 0, K)
+		for _, e := range ls.shortlist {
+			if ls.failed[e.ID] {
+				continue
+			}
+			out = append(out, e)
+			if len(out) == K {
+				break
+			}
+		}
+		ls.finish(out)
+	}
+}
+
+// nextCandidate picks the closest shortlist entry not yet queried.
+func (ls *lookupState) nextCandidate() (Entry, bool) {
+	for _, e := range ls.shortlist {
+		if !ls.queried[e.ID] {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// merge folds response entries into the shortlist, keeping it sorted by
+// distance and bounded.
+func (ls *lookupState) merge(entries []Entry) {
+	for _, e := range entries {
+		if e.ID == ls.peer.self.ID {
+			continue
+		}
+		dup := false
+		for _, x := range ls.shortlist {
+			if x.ID == e.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			ls.shortlist = append(ls.shortlist, e)
+		}
+		ls.peer.rt.Add(e)
+	}
+	SortByDistance(ls.shortlist, ls.target)
+	// Bound the shortlist: K closest unfailed candidates is all Kademlia
+	// needs; keep slack for failures.
+	if len(ls.shortlist) > 3*K {
+		ls.shortlist = ls.shortlist[:3*K]
+	}
+}

@@ -1,0 +1,127 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 8). Each experiment has one entry point that runs
+// the necessary simulations and returns structured results with a
+// Render method producing the rows/series the paper reports.
+//
+// The experiments are scale-parameterized: `go test` exercises them at
+// reduced size, while cmd/pandas-sim and cmd/pandas-exp run the paper's
+// 1,000-20,000-node configurations.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pandas/internal/core"
+	"pandas/internal/fetch"
+	"pandas/internal/metrics"
+	"pandas/internal/simnet"
+)
+
+// Options selects the scale and parameters of an experiment run.
+type Options struct {
+	// Nodes is the network size (paper: 1,000 for testbed figures).
+	Nodes int
+	// Slots is the number of seeding/consolidation/sampling cycles
+	// aggregated (paper: 10).
+	Slots int
+	// Seed drives all randomness.
+	Seed int64
+	// Core holds protocol parameters; zero value selects DefaultConfig.
+	Core core.Config
+	// LossRate is the message loss (negative selects the 3% default).
+	LossRate float64
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Nodes == 0 {
+		o.Nodes = 1000
+	}
+	if o.Slots == 0 {
+		o.Slots = 10
+	}
+	if o.Core.Blob.K == 0 {
+		o.Core = core.DefaultConfig()
+	}
+	if o.LossRate == 0 {
+		o.LossRate = simnet.DefaultLossRate
+	}
+	if o.LossRate < 0 {
+		o.LossRate = 0
+	}
+	return o
+}
+
+// TestOptions returns a fast configuration for unit tests and examples.
+func TestOptions() Options {
+	return Options{Nodes: 120, Slots: 2, Seed: 7, Core: core.TestConfig(), LossRate: simnet.DefaultLossRate}
+}
+
+// PhaseTimes groups the per-phase distributions of Fig. 9.
+type PhaseTimes struct {
+	Seeding       *metrics.Distribution // Fig. 9a (from slot start)
+	ConsFromSeed  *metrics.Distribution // Fig. 9b
+	ConsFromStart *metrics.Distribution // Fig. 9c
+	Sampling      *metrics.Distribution // Fig. 9d
+}
+
+// runSlots executes the cluster for o.Slots slots and pools outcomes.
+func runSlots(c *core.Cluster, slots int) ([]core.NodeOutcome, []core.SeedingReport, error) {
+	var outcomes []core.NodeOutcome
+	var reports []core.SeedingReport
+	for s := 1; s <= slots; s++ {
+		res, err := c.RunSlot(uint64(s))
+		if err != nil {
+			return nil, nil, fmt.Errorf("slot %d: %w", s, err)
+		}
+		outcomes = append(outcomes, res.Outcomes...)
+		reports = append(reports, res.Seeding)
+	}
+	return outcomes, reports, nil
+}
+
+func phaseTimes(outcomes []core.NodeOutcome) PhaseTimes {
+	var seed, cfs, cons, samp []time.Duration
+	for _, o := range outcomes {
+		if o.Dead {
+			continue
+		}
+		seed = append(seed, o.Seed)
+		cfs = append(cfs, o.ConsFromSeed)
+		cons = append(cons, o.Consolidation)
+		samp = append(samp, o.Sampling)
+	}
+	return PhaseTimes{
+		Seeding:       metrics.NewDistribution(seed),
+		ConsFromSeed:  metrics.NewDistribution(cfs),
+		ConsFromStart: metrics.NewDistribution(cons),
+		Sampling:      metrics.NewDistribution(samp),
+	}
+}
+
+// newCluster builds a PANDAS cluster for the options.
+func newCluster(o Options, mutate func(*core.ClusterConfig)) (*core.Cluster, error) {
+	cc := core.ClusterConfig{
+		Core:     o.Core,
+		N:        o.Nodes,
+		Seed:     o.Seed,
+		LossRate: o.LossRate,
+	}
+	if mutate != nil {
+		mutate(&cc)
+	}
+	return core.NewCluster(cc)
+}
+
+func fmtMs(d time.Duration) string {
+	if d < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", d.Milliseconds())
+}
+
+// constantSchedule is the Fig. 11 baseline: fixed timeout, redundancy 1.
+func constantSchedule() fetch.Schedule {
+	return fetch.ConstantSchedule(400*time.Millisecond, 1)
+}

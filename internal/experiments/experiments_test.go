@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pandas/internal/core"
+)
+
+func TestFig9SmallScale(t *testing.T) {
+	res, err := Fig9(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerPhase) != 3 {
+		t.Fatalf("policies = %d", len(res.PerPhase))
+	}
+	for _, p := range res.Policies {
+		pt := res.PerPhase[p]
+		if pt.Sampling.Total() == 0 {
+			t.Fatalf("policy %v: no sampling data", p)
+		}
+		// Seeding always precedes sampling in the aggregate.
+		if pt.Seeding.Median() > pt.Sampling.Median() {
+			t.Errorf("policy %v: seeding median after sampling median", p)
+		}
+	}
+	if res.Block == nil || res.Block.Total() == 0 {
+		t.Fatal("block gossip curve missing")
+	}
+	out := res.Render()
+	for _, want := range []string{"Fig. 9", "minimal", "single", "redundant", "sampling", "block reception"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig9RedundantBeatsMinimalOnConsolidation(t *testing.T) {
+	o := TestOptions()
+	o.Nodes = 200
+	res, err := Fig9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := res.PerPhase[core.PolicyRedundant].ConsFromStart
+	minimal := res.PerPhase[core.PolicyMinimal].ConsFromStart
+	// Paper: redundant seeding consolidates faster than minimal.
+	if red.Median() > minimal.Median() {
+		t.Fatalf("redundant median %v slower than minimal %v", red.Median(), minimal.Median())
+	}
+}
+
+func TestFig10SmallScale(t *testing.T) {
+	res, err := Fig10(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Policies {
+		if res.Msgs[p].Count() == 0 || res.Bytes[p].Count() == 0 {
+			t.Fatalf("policy %v missing traffic data", p)
+		}
+	}
+	// Paper: redundant seeding needs FEWER fetch messages than minimal.
+	if res.Msgs[core.PolicyRedundant].Mean() > res.Msgs[core.PolicyMinimal].Mean() {
+		t.Fatal("redundant should reduce fetch messages vs minimal")
+	}
+	if !strings.Contains(res.Render(), "Fig. 10") {
+		t.Fatal("render header missing")
+	}
+}
+
+func TestTable1SmallScale(t *testing.T) {
+	res, err := Table1(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 4 {
+		t.Fatalf("rounds = %d", len(res.Rounds))
+	}
+	r1 := res.Rounds[0]
+	if r1.MsgsSent.Mean() <= 0 || r1.CellsRequested.Mean() <= 0 {
+		t.Fatal("round 1 has no activity")
+	}
+	// Cells requested must shrink across rounds (coverage grows).
+	if res.Rounds[2].CellsRequested.Mean() > r1.CellsRequested.Mean() {
+		t.Fatal("cells requested did not decrease by round 3")
+	}
+	// Coverage is cumulative.
+	for i := 1; i < len(res.Rounds); i++ {
+		if res.Rounds[i].Coverage+1e-9 < res.Rounds[i-1].Coverage {
+			t.Fatal("coverage not monotone")
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Table 1", "Messages sent", "Cumulative coverage"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig11SmallScale(t *testing.T) {
+	res, err := Fig11(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adaptive must not be slower at the tail than constant fetching.
+	if res.AdaptiveSampling.Percentile(99) > res.ConstantSampling.Percentile(99) {
+		t.Fatalf("adaptive P99 %v > constant P99 %v",
+			res.AdaptiveSampling.Percentile(99), res.ConstantSampling.Percentile(99))
+	}
+	// Constant fetching uses fewer messages (k=1 forever).
+	if res.ConstantMsgs.Mean() > res.AdaptiveMsgs.Mean() {
+		t.Fatal("constant strategy should send fewer messages")
+	}
+	if !strings.Contains(res.Render(), "constant(t=400ms,k=1)") {
+		t.Fatal("render missing constant row")
+	}
+}
+
+func TestFig12SmallScale(t *testing.T) {
+	o := TestOptions()
+	o.Nodes = 100
+	o.Slots = 1
+	res, err := Fig12(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Systems[SystemPandas]
+	g := res.Systems[SystemGossip]
+	d := res.Systems[SystemDHT]
+	if p == nil || g == nil || d == nil {
+		t.Fatal("missing systems")
+	}
+	deadline := o.Core.Deadline
+	if p.Sampling.FractionWithin(deadline) < g.Sampling.FractionWithin(deadline)-0.05 {
+		t.Fatalf("PANDAS on-time %v below GossipSub %v",
+			p.Sampling.FractionWithin(deadline), g.Sampling.FractionWithin(deadline))
+	}
+	if p.Sampling.Median() > d.Sampling.Median() {
+		t.Fatal("PANDAS median should beat DHT")
+	}
+	if !strings.Contains(res.Render(), "gossipsub") {
+		t.Fatal("render missing baseline")
+	}
+}
+
+func TestFig13SmallScale(t *testing.T) {
+	o := TestOptions()
+	o.Slots = 1
+	res, err := Fig13(o, []int{80, 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sizes) != 2 {
+		t.Fatal("sizes wrong")
+	}
+	for _, size := range res.Sizes {
+		if res.Phases[size].Sampling.Total() == 0 {
+			t.Fatalf("size %d: no data", size)
+		}
+	}
+	if !strings.Contains(res.Render(), "Fig. 13") {
+		t.Fatal("render header missing")
+	}
+}
+
+func TestFig14SmallScale(t *testing.T) {
+	o := TestOptions()
+	o.Slots = 1
+	res, err := Fig14(o, []int{80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := res.Results[80]
+	if len(per) != 3 {
+		t.Fatalf("systems = %d", len(per))
+	}
+	if !strings.Contains(res.Render(), "80 nodes") {
+		t.Fatal("render missing size header")
+	}
+}
+
+func TestFig15DeadSweep(t *testing.T) {
+	o := TestOptions()
+	o.Nodes = 150
+	o.Slots = 1
+	res, err := Fig15(o, FaultDead, []float64{0, 0.4, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Deadline success must degrade monotonically-ish with faults: the
+	// 80% point must be well below the fault-free point.
+	if res.Points[2].DeadlineRate >= res.Points[0].DeadlineRate {
+		t.Fatalf("no degradation: %v vs %v", res.Points[2].DeadlineRate, res.Points[0].DeadlineRate)
+	}
+	if !strings.Contains(res.Render(), "Fig. 15a") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFig15OutOfViewSweep(t *testing.T) {
+	o := TestOptions()
+	o.Nodes = 150
+	o.Slots = 1
+	res, err := Fig15(o, FaultOutOfView, []float64{0, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[1].DeadlineRate > res.Points[0].DeadlineRate {
+		t.Fatal("out-of-view nodes should not improve the deadline rate")
+	}
+	if !strings.Contains(res.Render(), "Fig. 15b") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestConfidence(t *testing.T) {
+	res := Confidence(64, []int{5, 20, 40}, 2000, 1)
+	if len(res.Points) != 3 {
+		t.Fatal("points wrong")
+	}
+	prev := 1.1
+	for _, p := range res.Points {
+		if p.Analytic > prev {
+			t.Fatal("analytic bound not decreasing")
+		}
+		prev = p.Analytic
+		// Monte Carlo must not exceed the bound by much more than noise.
+		if p.Empirical > p.Analytic*2+0.02 {
+			t.Fatalf("empirical %v far above bound %v at s=%d", p.Empirical, p.Analytic, p.Samples)
+		}
+	}
+	if !strings.Contains(res.Render(), "Sampling confidence") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	o := TestOptions()
+	o.Nodes = 60
+	o.Slots = 1
+	res, err := Validate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The metadata shortcut must track the real data plane closely —
+	// the paper's simulator-vs-prototype curves are "almost
+	// indistinguishable"; allow 25% median slack at this small scale.
+	if res.MedianGap > 0.25 {
+		t.Fatalf("median gap %.0f%% too large", res.MedianGap*100)
+	}
+	if !strings.Contains(res.Render(), "validation") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Nodes != 1000 || o.Slots != 10 || o.Core.Blob.K != 256 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	neg := Options{LossRate: -1}.withDefaults()
+	if neg.LossRate != 0 {
+		t.Fatal("negative loss should mean zero")
+	}
+}
+
+func TestAblationSweep(t *testing.T) {
+	o := TestOptions()
+	o.Nodes = 150
+	o.Slots = 1
+	res, err := Ablation(o, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// More redundancy means more builder bytes...
+	if res.Points[1].BuilderBytes.Mean() <= res.Points[0].BuilderBytes.Mean() {
+		t.Fatal("builder cost did not grow with redundancy")
+	}
+	// ...and at least as good a deadline rate.
+	if res.Points[1].DeadlineRate+0.05 < res.Points[0].DeadlineRate {
+		t.Fatalf("higher redundancy degraded the deadline rate: %v vs %v",
+			res.Points[1].DeadlineRate, res.Points[0].DeadlineRate)
+	}
+	if !strings.Contains(res.Render(), "Ablation") {
+		t.Fatal("render header missing")
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pandas/internal/core"
+	"pandas/internal/metrics"
+)
+
+// FaultKind selects the Fig. 15 fault model.
+type FaultKind string
+
+// Fault kinds.
+const (
+	// FaultDead marks nodes as crashed/free-riding: they never respond,
+	// and neither builder nor peers know.
+	FaultDead FaultKind = "dead"
+	// FaultOutOfView gives every node an incomplete, random view of the
+	// network (the builder keeps its full view).
+	FaultOutOfView FaultKind = "out-of-view"
+)
+
+// Fig15Point is one sweep point.
+type Fig15Point struct {
+	Fraction      float64
+	Consolidation *metrics.Distribution
+	Sampling      *metrics.Distribution
+	DeadlineRate  float64 // fraction of LIVE nodes sampling on time
+}
+
+// Fig15Result holds a fault sweep.
+type Fig15Result struct {
+	Options   Options
+	Kind      FaultKind
+	Fractions []float64
+	Points    []Fig15Point
+}
+
+// Fig15 reproduces Fig. 15: time to consolidation and sampling for
+// increasing fractions of dead (Fig. 15a) or out-of-view (Fig. 15b)
+// nodes. The paper sweeps 0-80% in 20% steps on a 10,000-node network.
+func Fig15(o Options, kind FaultKind, fractions []float64) (*Fig15Result, error) {
+	o = o.withDefaults()
+	if len(fractions) == 0 {
+		fractions = []float64{0, 0.2, 0.4, 0.6, 0.8}
+	}
+	res := &Fig15Result{Options: o, Kind: kind, Fractions: fractions}
+	for _, frac := range fractions {
+		frac := frac
+		c, err := newCluster(o, func(cc *core.ClusterConfig) {
+			cc.Core.Policy = core.PolicyRedundant
+			switch kind {
+			case FaultDead:
+				cc.DeadFraction = frac
+			case FaultOutOfView:
+				cc.OutOfViewFraction = frac
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		outcomes, _, err := runSlots(c, o.Slots)
+		if err != nil {
+			return nil, err
+		}
+		var cons, samp []time.Duration
+		live, onTime := 0, 0
+		for _, out := range outcomes {
+			if out.Dead {
+				continue
+			}
+			live++
+			cons = append(cons, out.Consolidation)
+			samp = append(samp, out.Sampling)
+			if out.Sampling >= 0 && out.Sampling <= o.Core.Deadline {
+				onTime++
+			}
+		}
+		point := Fig15Point{
+			Fraction:      frac,
+			Consolidation: metrics.NewDistribution(cons),
+			Sampling:      metrics.NewDistribution(samp),
+		}
+		if live > 0 {
+			point.DeadlineRate = float64(onTime) / float64(live)
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+// Render prints Fig. 15 rows.
+func (r *Fig15Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 15%s — %s nodes sweep, %d nodes\n",
+		map[FaultKind]string{FaultDead: "a", FaultOutOfView: "b"}[r.Kind], r.Kind, r.Options.Nodes)
+	tab := metrics.NewTable("fraction", "cons median", "cons P99", "sample median", "sample P99", "on-time%")
+	for _, p := range r.Points {
+		tab.AddRow(fmt.Sprintf("%.0f%%", p.Fraction*100),
+			fmtMs(p.Consolidation.Median()), fmtMs(p.Consolidation.Percentile(99)),
+			fmtMs(p.Sampling.Median()), fmtMs(p.Sampling.Percentile(99)),
+			fmt.Sprintf("%.1f", 100*p.DeadlineRate))
+	}
+	b.WriteString(tab.String())
+	return b.String()
+}

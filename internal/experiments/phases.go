@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pandas/internal/core"
+	"pandas/internal/metrics"
+)
+
+// Fig9Result holds the phase-time distributions for the three seeding
+// policies (Fig. 9a-d) plus the gossip block-reception curve plotted for
+// comparison in Fig. 9a.
+type Fig9Result struct {
+	Options  Options
+	Policies []core.Policy
+	PerPhase map[core.Policy]PhaseTimes
+	Block    *metrics.Distribution
+}
+
+// Fig9 reproduces Fig. 9: distributions of time-to-seeding,
+// time-to-consolidation (from seeding and from slot start), and
+// time-to-sampling across all nodes, for the minimal / single / redundant
+// seeding policies.
+func Fig9(o Options) (*Fig9Result, error) {
+	o = o.withDefaults()
+	res := &Fig9Result{
+		Options:  o,
+		Policies: []core.Policy{core.PolicyMinimal, core.PolicySingle, core.PolicyRedundant},
+		PerPhase: make(map[core.Policy]PhaseTimes),
+	}
+	for _, policy := range res.Policies {
+		policy := policy
+		c, err := newCluster(o, func(cc *core.ClusterConfig) {
+			cc.Core.Policy = policy
+			cc.BlockGossip = policy == core.PolicyRedundant // one block curve suffices
+		})
+		if err != nil {
+			return nil, err
+		}
+		outcomes, _, err := runSlots(c, o.Slots)
+		if err != nil {
+			return nil, err
+		}
+		res.PerPhase[policy] = phaseTimes(outcomes)
+		if policy == core.PolicyRedundant {
+			var block []time.Duration
+			for _, out := range outcomes {
+				if !out.Dead {
+					block = append(block, out.BlockRecv)
+				}
+			}
+			res.Block = metrics.NewDistribution(block)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the paper-style summary rows.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 9 — phase times, %d nodes, %d slots (ms)\n", r.Options.Nodes, r.Options.Slots)
+	tab := metrics.NewTable("policy", "phase", "median", "P99", "max", "on-time%")
+	deadline := r.Options.Core.Deadline
+	for _, p := range r.Policies {
+		pt := r.PerPhase[p]
+		rows := []struct {
+			name string
+			d    *metrics.Distribution
+		}{
+			{"seeding", pt.Seeding},
+			{"consolidation(from seed)", pt.ConsFromSeed},
+			{"consolidation(from start)", pt.ConsFromStart},
+			{"sampling", pt.Sampling},
+		}
+		for _, row := range rows {
+			tab.AddRow(p.String(), row.name,
+				fmtMs(row.d.Median()), fmtMs(row.d.Percentile(99)), fmtMs(row.d.Max()),
+				fmt.Sprintf("%.1f", 100*row.d.FractionWithin(deadline)))
+		}
+	}
+	if r.Block != nil {
+		tab.AddRow("(gossip)", "block reception",
+			fmtMs(r.Block.Median()), fmtMs(r.Block.Percentile(99)), fmtMs(r.Block.Max()),
+			fmt.Sprintf("%.1f", 100*r.Block.FractionWithin(deadline)))
+	}
+	b.WriteString(tab.String())
+	return b.String()
+}
+
+// Fig10Result holds fetch traffic distributions per seeding policy.
+type Fig10Result struct {
+	Options  Options
+	Policies []core.Policy
+	Msgs     map[core.Policy]*metrics.Scalar
+	Bytes    map[core.Policy]*metrics.Scalar
+}
+
+// Fig10 reproduces Fig. 10: distribution of messages and traffic volume
+// used for fetching (consolidation + sampling, both directions) across
+// nodes, per seeding policy.
+func Fig10(o Options) (*Fig10Result, error) {
+	o = o.withDefaults()
+	res := &Fig10Result{
+		Options:  o,
+		Policies: []core.Policy{core.PolicyMinimal, core.PolicySingle, core.PolicyRedundant},
+		Msgs:     make(map[core.Policy]*metrics.Scalar),
+		Bytes:    make(map[core.Policy]*metrics.Scalar),
+	}
+	for _, policy := range res.Policies {
+		policy := policy
+		c, err := newCluster(o, func(cc *core.ClusterConfig) { cc.Core.Policy = policy })
+		if err != nil {
+			return nil, err
+		}
+		outcomes, _, err := runSlots(c, o.Slots)
+		if err != nil {
+			return nil, err
+		}
+		msgs := metrics.NewScalar(nil)
+		bytes := metrics.NewScalar(nil)
+		for _, out := range outcomes {
+			if out.Dead {
+				continue
+			}
+			msgs.Add(float64(out.FetchMsgs))
+			bytes.Add(float64(out.FetchBytes))
+		}
+		res.Msgs[policy] = msgs
+		res.Bytes[policy] = bytes
+	}
+	return res, nil
+}
+
+// Render prints Fig. 10 rows.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 10 — fetch traffic per node, %d nodes (both directions)\n", r.Options.Nodes)
+	tab := metrics.NewTable("policy", "msgs mean±std", "msgs max", "KB mean", "KB max")
+	for _, p := range r.Policies {
+		tab.AddRow(p.String(),
+			r.Msgs[p].MeanStd(),
+			fmt.Sprintf("%.0f", r.Msgs[p].Max()),
+			fmt.Sprintf("%.1f", r.Bytes[p].Mean()/1024),
+			fmt.Sprintf("%.1f", r.Bytes[p].Max()/1024))
+	}
+	b.WriteString(tab.String())
+	return b.String()
+}
+
+// Table1Result aggregates per-round fetching statistics (Table 1).
+type Table1Result struct {
+	Options Options
+	Rounds  []Table1Round
+}
+
+// Table1Round is one column of Table 1: means ± stddev over nodes.
+type Table1Round struct {
+	Round          int
+	MsgsSent       *metrics.Scalar
+	CellsRequested *metrics.Scalar
+	RepliesIn      *metrics.Scalar
+	RepliesAfter   *metrics.Scalar
+	CellsIn        *metrics.Scalar
+	CellsAfter     *metrics.Scalar
+	Duplicates     *metrics.Scalar
+	Reconstructed  *metrics.Scalar
+	Coverage       float64 // mean cumulative coverage of F
+}
+
+// Table1 reproduces Table 1: fetching-algorithm performance in successive
+// rounds under the redundant seeding policy.
+func Table1(o Options) (*Table1Result, error) {
+	o = o.withDefaults()
+	c, err := newCluster(o, func(cc *core.ClusterConfig) {
+		cc.Core.Policy = core.PolicyRedundant
+	})
+	if err != nil {
+		return nil, err
+	}
+	outcomes, _, err := runSlots(c, o.Slots)
+	if err != nil {
+		return nil, err
+	}
+	const maxRounds = 4
+	res := &Table1Result{Options: o}
+	for round := 0; round < maxRounds; round++ {
+		tr := Table1Round{
+			Round:          round + 1,
+			MsgsSent:       metrics.NewScalar(nil),
+			CellsRequested: metrics.NewScalar(nil),
+			RepliesIn:      metrics.NewScalar(nil),
+			RepliesAfter:   metrics.NewScalar(nil),
+			CellsIn:        metrics.NewScalar(nil),
+			CellsAfter:     metrics.NewScalar(nil),
+			Duplicates:     metrics.NewScalar(nil),
+			Reconstructed:  metrics.NewScalar(nil),
+		}
+		covSum, covN := 0.0, 0
+		for _, out := range outcomes {
+			if out.Dead || len(out.Rounds) == 0 {
+				continue
+			}
+			// Nodes that finished before this round carry their final
+			// coverage forward (they sit at ~100%), so the aggregate
+			// matches the paper's cumulative column.
+			if len(out.Rounds) <= round {
+				covSum += out.Rounds[len(out.Rounds)-1].CoverageAfter
+				covN++
+				continue
+			}
+			rs := out.Rounds[round]
+			tr.MsgsSent.Add(float64(rs.MsgsSent))
+			tr.CellsRequested.Add(float64(rs.CellsRequested))
+			tr.RepliesIn.Add(float64(rs.RepliesInRound))
+			tr.RepliesAfter.Add(float64(rs.RepliesAfterRound))
+			tr.CellsIn.Add(float64(rs.CellsInRound))
+			tr.CellsAfter.Add(float64(rs.CellsAfterRound))
+			tr.Duplicates.Add(float64(rs.Duplicates))
+			tr.Reconstructed.Add(float64(rs.Reconstructed))
+			covSum += rs.CoverageAfter
+			covN++
+		}
+		if covN > 0 {
+			tr.Coverage = covSum / float64(covN)
+		}
+		res.Rounds = append(res.Rounds, tr)
+	}
+	return res, nil
+}
+
+// Render prints Table 1.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 — fetching per round, %d nodes, redundant seeding\n", r.Options.Nodes)
+	tab := metrics.NewTable("metric", "round 1", "round 2", "round 3", "round 4")
+	row := func(name string, get func(Table1Round) string) {
+		cells := []string{name}
+		for _, tr := range r.Rounds {
+			cells = append(cells, get(tr))
+		}
+		tab.AddRow(cells...)
+	}
+	row("Messages sent", func(t Table1Round) string { return t.MsgsSent.MeanStd() })
+	row("Cells requested", func(t Table1Round) string { return t.CellsRequested.MeanStd() })
+	row("Replies received in round", func(t Table1Round) string { return t.RepliesIn.MeanStd() })
+	row("Replies received after round", func(t Table1Round) string { return t.RepliesAfter.MeanStd() })
+	row("Cells received in round", func(t Table1Round) string { return t.CellsIn.MeanStd() })
+	row("Cells received after round", func(t Table1Round) string { return t.CellsAfter.MeanStd() })
+	row("Received cells duplicates", func(t Table1Round) string { return t.Duplicates.MeanStd() })
+	row("Cells reconstructed", func(t Table1Round) string { return t.Reconstructed.MeanStd() })
+	row("Cumulative coverage of F", func(t Table1Round) string { return fmt.Sprintf("%.0f%%", t.Coverage*100) })
+	b.WriteString(tab.String())
+	return b.String()
+}
+
+// Fig11Result compares adaptive and constant fetching.
+type Fig11Result struct {
+	Options          Options
+	AdaptiveSampling *metrics.Distribution
+	ConstantSampling *metrics.Distribution
+	AdaptiveMsgs     *metrics.Scalar
+	ConstantMsgs     *metrics.Scalar
+}
+
+// Fig11 reproduces Fig. 11: adaptive fetching versus a constant strategy
+// (fixed 400 ms timeout, redundancy 1) under redundant seeding.
+func Fig11(o Options) (*Fig11Result, error) {
+	o = o.withDefaults()
+	run := func(constant bool) (*metrics.Distribution, *metrics.Scalar, error) {
+		c, err := newCluster(o, func(cc *core.ClusterConfig) {
+			cc.Core.Policy = core.PolicyRedundant
+			if constant {
+				cc.Core.Schedule = constantSchedule()
+			}
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		outcomes, _, err := runSlots(c, o.Slots)
+		if err != nil {
+			return nil, nil, err
+		}
+		var samp []time.Duration
+		msgs := metrics.NewScalar(nil)
+		for _, out := range outcomes {
+			if out.Dead {
+				continue
+			}
+			samp = append(samp, out.Sampling)
+			msgs.Add(float64(out.FetchMsgs))
+		}
+		return metrics.NewDistribution(samp), msgs, nil
+	}
+	var err error
+	res := &Fig11Result{Options: o}
+	if res.AdaptiveSampling, res.AdaptiveMsgs, err = run(false); err != nil {
+		return nil, err
+	}
+	if res.ConstantSampling, res.ConstantMsgs, err = run(true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints Fig. 11 rows.
+func (r *Fig11Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 11 — adaptive vs constant fetching, %d nodes\n", r.Options.Nodes)
+	tab := metrics.NewTable("strategy", "median ms", "P99 ms", "max ms", "on-time%", "msgs mean±std")
+	deadline := r.Options.Core.Deadline
+	tab.AddRow("adaptive",
+		fmtMs(r.AdaptiveSampling.Median()), fmtMs(r.AdaptiveSampling.Percentile(99)), fmtMs(r.AdaptiveSampling.Max()),
+		fmt.Sprintf("%.1f", 100*r.AdaptiveSampling.FractionWithin(deadline)),
+		r.AdaptiveMsgs.MeanStd())
+	tab.AddRow("constant(t=400ms,k=1)",
+		fmtMs(r.ConstantSampling.Median()), fmtMs(r.ConstantSampling.Percentile(99)), fmtMs(r.ConstantSampling.Max()),
+		fmt.Sprintf("%.1f", 100*r.ConstantSampling.FractionWithin(deadline)),
+		r.ConstantMsgs.MeanStd())
+	b.WriteString(tab.String())
+	return b.String()
+}

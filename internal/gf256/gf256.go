@@ -1,0 +1,164 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8).
+//
+// The field is constructed as GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1),
+// i.e. the polynomial 0x11D used by most Reed-Solomon deployments
+// (including the erasure codes used for Ethereum blob data). Multiplication
+// and division are implemented with logarithm/exponential tables built at
+// package initialization, giving constant-time-ish single lookups.
+//
+// The package is the foundation of the Reed-Solomon codec in package rs,
+// which in turn backs the two-dimensional blob extension used by PANDAS.
+package gf256
+
+// Polynomial is the irreducible polynomial defining the field,
+// x^8 + x^4 + x^3 + x^2 + 1.
+const Polynomial = 0x11d
+
+// Order is the number of elements in the field.
+const Order = 256
+
+// generator is a primitive element of the field; powers of it enumerate
+// all non-zero field elements.
+const generator = 2
+
+var (
+	expTable [512]byte // expTable[i] = generator^i, doubled to avoid mod 255
+	logTable [256]byte // logTable[x] = log_generator(x), logTable[0] unused
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Polynomial
+		}
+	}
+	// Duplicate the table so Mul can index exp[logA+logB] without a
+	// modular reduction (logA+logB <= 508).
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Add returns a + b in GF(2^8). Addition is XOR; it is its own inverse,
+// so Sub(a, b) == Add(a, b).
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a - b in GF(2^8), identical to Add.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a / b in GF(2^8). Division by zero panics, mirroring the
+// behaviour of integer division: it is a programming error, not a
+// recoverable runtime condition.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(logTable[a]) - int(logTable[b])
+	if d < 0 {
+		d += 255
+	}
+	return expTable[d]
+}
+
+// Inv returns the multiplicative inverse of a. Inv(0) panics.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns generator^n for n >= 0.
+func Exp(n int) byte {
+	return expTable[n%255]
+}
+
+// Log returns log_generator(a) in [0, 255). Log(0) panics.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// Pow returns a^n in GF(2^8), with a^0 == 1 for any a (including 0, by
+// the usual empty-product convention).
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	l := (int(logTable[a]) * n) % 255
+	if l < 0 {
+		l += 255
+	}
+	return expTable[l]
+}
+
+// MulSlice sets dst[i] = c * src[i] for all i. dst and src must have the
+// same length; they may alias.
+func MulSlice(c byte, src, dst []byte) {
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	logC := int(logTable[c])
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = expTable[logC+int(logTable[s])]
+		}
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c * src[i] for all i, the fused
+// multiply-accumulate at the heart of Reed-Solomon encoding. dst and src
+// must have the same length.
+func MulAddSlice(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	logC := int(logTable[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTable[logC+int(logTable[s])]
+		}
+	}
+}
+
+// AddSlice sets dst[i] ^= src[i] for all i.
+func AddSlice(src, dst []byte) {
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}

@@ -1,0 +1,247 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if got := Add(0x53, 0xCA); got != 0x53^0xCA {
+		t.Fatalf("Add(0x53, 0xCA) = %#x, want %#x", got, 0x53^0xCA)
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, want byte
+	}{
+		{0, 0, 0},
+		{0, 7, 0},
+		{1, 1, 1},
+		{1, 0xFF, 0xFF},
+		{2, 2, 4},
+		{2, 0x80, 0x1d}, // x * x^7 = x^8 = x^4+x^3+x^2+1 mod poly
+		{2, 4, 8},
+		{4, 0x40, 0x1d}, // x^2 * x^6 = x^8
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		if got := Mul(byte(a), 1); got != byte(a) {
+			t.Fatalf("Mul(%#x, 1) = %#x", a, got)
+		}
+	}
+}
+
+func TestInvRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if got := Mul(byte(a), inv); got != 1 {
+			t.Fatalf("Mul(%#x, Inv(%#x)) = %#x, want 1", a, a, got)
+		}
+	}
+}
+
+func TestDivInverseOfMul(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Div(Mul(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestLogZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log(0) did not panic")
+		}
+	}()
+	Log(0)
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := Exp(Log(byte(a))); got != byte(a) {
+			t.Fatalf("Exp(Log(%#x)) = %#x", a, got)
+		}
+	}
+}
+
+func TestExpGeneratesAllNonZero(t *testing.T) {
+	seen := make(map[byte]bool)
+	for i := 0; i < 255; i++ {
+		seen[Exp(i)] = true
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator powers covered %d elements, want 255", len(seen))
+	}
+	if seen[0] {
+		t.Fatal("generator powers must not include 0")
+	}
+}
+
+func TestPow(t *testing.T) {
+	cases := []struct {
+		a    byte
+		n    int
+		want byte
+	}{
+		{0, 0, 1},
+		{0, 5, 0},
+		{3, 0, 1},
+		{2, 1, 2},
+		{2, 8, 0x1d},
+		{7, 255, 1}, // Fermat: a^255 = 1 for a != 0
+	}
+	for _, c := range cases {
+		if got := Pow(c.a, c.n); got != c.want {
+			t.Errorf("Pow(%#x, %d) = %#x, want %#x", c.a, c.n, got, c.want)
+		}
+	}
+}
+
+func TestPowMatchesRepeatedMul(t *testing.T) {
+	for a := 0; a < 256; a += 7 {
+		acc := byte(1)
+		for n := 0; n < 20; n++ {
+			if got := Pow(byte(a), n); got != acc {
+				t.Fatalf("Pow(%#x, %d) = %#x, want %#x", a, n, got, acc)
+			}
+			acc = Mul(acc, byte(a))
+		}
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 3, 0xFF}
+	dst := make([]byte, len(src))
+	MulSlice(3, src, dst)
+	for i := range src {
+		if dst[i] != Mul(3, src[i]) {
+			t.Fatalf("MulSlice mismatch at %d: %#x vs %#x", i, dst[i], Mul(3, src[i]))
+		}
+	}
+	// c == 0 zeroes the destination.
+	MulSlice(0, src, dst)
+	for i, d := range dst {
+		if d != 0 {
+			t.Fatalf("MulSlice(0) left dst[%d] = %#x", i, d)
+		}
+	}
+	// c == 1 copies.
+	MulSlice(1, src, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("MulSlice(1) mismatch at %d", i)
+		}
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := []byte{5, 6, 7, 8}
+	dst := []byte{1, 2, 3, 4}
+	want := make([]byte, 4)
+	for i := range want {
+		want[i] = Add(dst[i], Mul(9, src[i]))
+	}
+	MulAddSlice(9, src, dst)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulAddSlice mismatch at %d: %#x vs %#x", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMulAddSliceZeroCoeffIsNoop(t *testing.T) {
+	src := []byte{5, 6, 7, 8}
+	dst := []byte{1, 2, 3, 4}
+	MulAddSlice(0, src, dst)
+	for i, want := range []byte{1, 2, 3, 4} {
+		if dst[i] != want {
+			t.Fatalf("MulAddSlice(0) modified dst[%d]", i)
+		}
+	}
+}
+
+func TestAddSlice(t *testing.T) {
+	src := []byte{0xAA, 0x55}
+	dst := []byte{0xFF, 0x00}
+	AddSlice(src, dst)
+	if dst[0] != 0x55 || dst[1] != 0x55 {
+		t.Fatalf("AddSlice = %v", dst)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	var acc byte
+	for i := 0; i < b.N; i++ {
+		acc ^= Mul(byte(i), byte(i>>8))
+	}
+	_ = acc
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	src := make([]byte, 512)
+	dst := make([]byte, 512)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(byte(i)|1, src, dst)
+	}
+}

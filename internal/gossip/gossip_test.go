@@ -1,0 +1,195 @@
+package gossip
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"pandas/internal/simnet"
+)
+
+func memberRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestOverlayDegreeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	o := NewOverlay(rng, memberRange(100), DefaultDegree)
+	for _, m := range o.Members() {
+		nbs := o.Neighbors(m)
+		if len(nbs) < DefaultDegree {
+			t.Fatalf("node %d has only %d neighbours", m, len(nbs))
+		}
+		seen := map[int]bool{}
+		for _, nb := range nbs {
+			if nb == m {
+				t.Fatalf("node %d is its own neighbour", m)
+			}
+			if seen[nb] {
+				t.Fatalf("node %d has duplicate neighbour %d", m, nb)
+			}
+			seen[nb] = true
+		}
+	}
+}
+
+func TestOverlaySymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	o := NewOverlay(rng, memberRange(50), 4)
+	for _, m := range o.Members() {
+		for _, nb := range o.Neighbors(m) {
+			found := false
+			for _, back := range o.Neighbors(nb) {
+				if back == m {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d-%d not symmetric", m, nb)
+			}
+		}
+	}
+}
+
+func TestOverlayConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	o := NewOverlay(rng, memberRange(200), DefaultDegree)
+	if !o.Connected() {
+		t.Fatal("200-member degree-8 mesh should be connected")
+	}
+}
+
+func TestOverlaySmallMemberships(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if o := NewOverlay(rng, nil, 8); !o.Connected() {
+		t.Fatal("empty overlay should be trivially connected")
+	}
+	o := NewOverlay(rng, []int{7}, 8)
+	if len(o.Neighbors(7)) != 0 {
+		t.Fatal("single member should have no neighbours")
+	}
+	o2 := NewOverlay(rng, []int{3, 9}, 8)
+	if len(o2.Neighbors(3)) != 1 || o2.Neighbors(3)[0] != 9 {
+		t.Fatalf("pair mesh wrong: %v", o2.Neighbors(3))
+	}
+}
+
+func TestOverlayDeterministic(t *testing.T) {
+	o1 := NewOverlay(rand.New(rand.NewSource(5)), memberRange(40), 4)
+	o2 := NewOverlay(rand.New(rand.NewSource(5)), memberRange(40), 4)
+	for _, m := range o1.Members() {
+		a, b := o1.Neighbors(m), o2.Neighbors(m)
+		if len(a) != len(b) {
+			t.Fatal("non-deterministic mesh")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("non-deterministic mesh")
+			}
+		}
+	}
+}
+
+func TestRouterPublishAndDedup(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	o := NewOverlay(rng, memberRange(20), 4)
+	r := NewRouter(0)
+	targets := r.Publish(o, MsgID(1))
+	if len(targets) == 0 {
+		t.Fatal("publish should flood to neighbours")
+	}
+	if !r.Seen(1) {
+		t.Fatal("published message not marked seen")
+	}
+	// Receiving our own publish back is a duplicate.
+	fwd, isNew := r.Receive(o, MsgID(1), targets[0])
+	if isNew || fwd != nil {
+		t.Fatal("duplicate not suppressed")
+	}
+}
+
+func TestRouterReceiveForwardsExceptSender(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	o := NewOverlay(rng, memberRange(20), 4)
+	r := NewRouter(5)
+	from := o.Neighbors(5)[0]
+	fwd, isNew := r.Receive(o, MsgID(9), from)
+	if !isNew {
+		t.Fatal("first copy should be new")
+	}
+	for _, peer := range fwd {
+		if peer == from {
+			t.Fatal("forwarded back to sender")
+		}
+	}
+	if len(fwd) != len(o.Neighbors(5))-1 {
+		t.Fatalf("forwarded to %d peers, want %d", len(fwd), len(o.Neighbors(5))-1)
+	}
+}
+
+func TestRouterReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	o := NewOverlay(rng, memberRange(10), 3)
+	r := NewRouter(0)
+	r.Publish(o, MsgID(1))
+	r.Reset()
+	if r.Seen(1) {
+		t.Fatal("Reset did not clear seen state")
+	}
+}
+
+// TestFloodReachesAllMembers wires routers over the simulator and checks
+// that a published message reaches every member of a connected mesh, and
+// that per-node duplicate counts stay bounded by the mesh degree.
+func TestFloodReachesAllMembers(t *testing.T) {
+	const n = 120
+	rng := rand.New(rand.NewSource(9))
+	members := memberRange(n)
+	o := NewOverlay(rng, members, DefaultDegree)
+	if !o.Connected() {
+		t.Skip("mesh disconnected with this seed")
+	}
+	net, err := simnet.New(simnet.Config{Latency: simnet.ConstantLatency(5 * time.Millisecond), Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routers := make([]*Router, n)
+	delivered := make([]bool, n)
+	for i := 0; i < n; i++ {
+		i := i
+		routers[i] = NewRouter(i)
+		net.AddNode(func(from, size int, payload any) {
+			id := payload.(MsgID)
+			fwd, isNew := routers[i].Receive(o, id, from)
+			if isNew {
+				delivered[i] = true
+				for _, peer := range fwd {
+					net.Send(i, peer, size, payload)
+				}
+			}
+		}, 0, 0)
+	}
+	// Node 0 publishes.
+	delivered[0] = true
+	for _, peer := range routers[0].Publish(o, MsgID(77)) {
+		net.Send(0, peer, 1000, MsgID(77))
+	}
+	net.Run(10 * time.Second)
+	for i, d := range delivered {
+		if !d {
+			t.Fatalf("member %d never received the message", i)
+		}
+	}
+}
+
+func BenchmarkOverlayBuild(b *testing.B) {
+	members := memberRange(1000)
+	for i := 0; i < b.N; i++ {
+		NewOverlay(rand.New(rand.NewSource(int64(i))), members, DefaultDegree)
+	}
+}

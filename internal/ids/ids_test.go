@@ -1,0 +1,137 @@
+package ids
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIdentityDerivesID(t *testing.T) {
+	id, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.ID != IDFromPublicKey(id.Public) {
+		t.Fatal("ID does not match public key hash")
+	}
+	if id.ID.IsZero() {
+		t.Fatal("ID is zero")
+	}
+}
+
+func TestTestIdentityDeterministic(t *testing.T) {
+	a := NewTestIdentity(7)
+	b := NewTestIdentity(7)
+	c := NewTestIdentity(8)
+	if a.ID != b.ID {
+		t.Fatal("same seed produced different identities")
+	}
+	if a.ID == c.ID {
+		t.Fatal("different seeds produced equal identities")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	id := NewTestIdentity(1)
+	msg := []byte("pandas seeding message")
+	sig := id.Sign(msg)
+	if !VerifyFrom(id.Public, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if VerifyFrom(id.Public, append(msg, 'x'), sig) {
+		t.Fatal("tampered message accepted")
+	}
+	other := NewTestIdentity(2)
+	if VerifyFrom(other.Public, msg, sig) {
+		t.Fatal("wrong key accepted")
+	}
+	if VerifyFrom(nil, msg, sig) {
+		t.Fatal("nil key accepted")
+	}
+}
+
+func TestXORProperties(t *testing.T) {
+	f := func(a, b NodeID) bool {
+		// Symmetric, self-distance zero, and a^b^b == a.
+		return a.XOR(b) == b.XOR(a) &&
+			a.XOR(a).IsZero() &&
+			a.XOR(b).XOR(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLessIsStrictOrder(t *testing.T) {
+	a := NodeID{0x01}
+	b := NodeID{0x02}
+	if !a.Less(b) || b.Less(a) || a.Less(a) {
+		t.Fatal("Less ordering wrong")
+	}
+}
+
+func TestLeadingZeros(t *testing.T) {
+	cases := []struct {
+		id   NodeID
+		want int
+	}{
+		{NodeID{}, 256},
+		{NodeID{0x80}, 0},
+		{NodeID{0x40}, 1},
+		{NodeID{0x01}, 7},
+		{NodeID{0x00, 0x80}, 8},
+		{NodeID{0x00, 0x00, 0x01}, 23},
+	}
+	for _, c := range cases {
+		if got := c.id.LeadingZeros(); got != c.want {
+			t.Errorf("LeadingZeros(%v) = %d, want %d", c.id, got, c.want)
+		}
+	}
+}
+
+func TestRecordVerify(t *testing.T) {
+	id := NewTestIdentity(3)
+	r := NewRecord(id, "10.0.0.1:9000", 5)
+	if err := r.Verify(); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+}
+
+func TestRecordVerifyRejectsTampering(t *testing.T) {
+	id := NewTestIdentity(4)
+	r := NewRecord(id, "10.0.0.1:9000", 5)
+
+	addr := r
+	addr.Addr = "10.0.0.2:9000"
+	if err := addr.Verify(); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered addr: err = %v, want ErrBadSignature", err)
+	}
+
+	seq := r
+	seq.Seq = 6
+	if err := seq.Verify(); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered seq: err = %v, want ErrBadSignature", err)
+	}
+
+	wrongKey := r
+	wrongKey.PublicKey = NewTestIdentity(5).Public
+	if err := wrongKey.Verify(); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("wrong key: err = %v, want ErrBadRecord", err)
+	}
+
+	badKey := r
+	badKey.PublicKey = badKey.PublicKey[:5]
+	if err := badKey.Verify(); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("short key: err = %v, want ErrBadRecord", err)
+	}
+}
+
+func TestNodeIDStrings(t *testing.T) {
+	id := NodeID{0xAB, 0xCD}
+	if id.String() != "abcd00000000" {
+		t.Fatalf("String = %q", id.String())
+	}
+	if len(id.Hex()) != 64 {
+		t.Fatalf("Hex length = %d", len(id.Hex()))
+	}
+}

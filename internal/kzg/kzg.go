@@ -1,0 +1,139 @@
+// Package kzg provides a simulated Kate-Zaverucha-Goldberg commitment
+// scheme for blob cells.
+//
+// SUBSTITUTION NOTE (see DESIGN.md §4): the real Danksharding design uses
+// KZG polynomial commitments over BLS12-381, which require pairing
+// cryptography outside the Go standard library. PANDAS's contribution is a
+// networking protocol; what it needs from KZG is only
+//
+//  1. a small constant-size commitment registered in the block (KZGC),
+//  2. a 48-byte per-cell proof carried with every cell (KZGP), and
+//  3. a cheap per-cell verification check on receipt.
+//
+// This package preserves all three with a hash-based construction:
+//
+//   - each row of the extended matrix gets a row digest (SHA-256 over the
+//     row index and all cell payloads);
+//   - the blob Commitment is a Merkle root over the row digests;
+//   - the per-cell Proof is the first 48 bytes of
+//     SHA-256(commitment || row || col || cell payload) — verifiable by
+//     anyone holding the commitment and the cell.
+//
+// Unlike real KZG, a proof here can only be PRODUCED by a party holding
+// the commitment and the cell (the builder), which matches the paper's
+// rational-builder model: the builder never sends incorrect data because
+// detection forfeits its reward. Wire sizes are identical to the paper's
+// (48-byte proofs, 32-byte commitments), so all bandwidth results carry
+// over unchanged.
+package kzg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+
+	"pandas/internal/blob"
+)
+
+// ProofSize is the per-cell proof size in bytes, matching real KZG.
+const ProofSize = 48
+
+// CommitmentSize is the commitment size in bytes.
+const CommitmentSize = 32
+
+// Errors returned by this package.
+var (
+	ErrBadProofSize = errors.New("kzg: proof has wrong size")
+)
+
+// Commitment binds an entire extended blob, standing in for the KZG
+// commitment (KZGC) registered in the blob-carrying transaction.
+type Commitment [CommitmentSize]byte
+
+// Proof binds one cell to a Commitment, standing in for the per-cell KZG
+// proof (KZGP).
+type Proof [ProofSize]byte
+
+// Commit computes the blob commitment: a binary Merkle root over per-row
+// digests of the extended matrix.
+func Commit(e *blob.Extended) Commitment {
+	n := e.N()
+	leaves := make([][32]byte, n)
+	for r := 0; r < n; r++ {
+		h := sha256.New()
+		var idx [4]byte
+		binary.BigEndian.PutUint32(idx[:], uint32(r))
+		h.Write(idx[:])
+		for _, cell := range e.Line(blob.Line{Kind: blob.Row, Index: uint16(r)}) {
+			h.Write(cell)
+		}
+		h.Sum(leaves[r][:0])
+	}
+	return Commitment(merkleRoot(leaves))
+}
+
+// merkleRoot folds the leaves pairwise; an odd tail node is promoted.
+func merkleRoot(level [][32]byte) [32]byte {
+	if len(level) == 0 {
+		return sha256.Sum256(nil)
+	}
+	for len(level) > 1 {
+		next := make([][32]byte, 0, (len(level)+1)/2)
+		for i := 0; i+1 < len(level); i += 2 {
+			h := sha256.New()
+			h.Write(level[i][:])
+			h.Write(level[i+1][:])
+			var d [32]byte
+			h.Sum(d[:0])
+			next = append(next, d)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// Prove produces the 48-byte proof for a single cell. Only a party holding
+// the commitment and the cell payload (i.e. the builder, or a node that
+// already verified the cell) can produce it.
+func Prove(c Commitment, id blob.CellID, cell []byte) Proof {
+	h := sha256.New()
+	h.Write(c[:])
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:2], id.Row)
+	binary.BigEndian.PutUint16(hdr[2:4], id.Col)
+	h.Write(hdr[:])
+	h.Write(cell)
+	d1 := h.Sum(nil)
+	// Extend to 48 bytes with a second domain-separated digest.
+	h2 := sha256.New()
+	h2.Write([]byte{0x01})
+	h2.Write(d1)
+	d2 := h2.Sum(nil)
+	var p Proof
+	copy(p[:32], d1)
+	copy(p[32:], d2[:16])
+	return p
+}
+
+// Verify checks a cell payload against the commitment using its proof.
+func Verify(c Commitment, id blob.CellID, cell []byte, p Proof) bool {
+	return Prove(c, id, cell) == p
+}
+
+// ProveAll computes proofs for every cell of the extended matrix, returned
+// in row-major order. This is the builder's preparatory step (Fig. 2 of
+// the paper).
+func ProveAll(e *blob.Extended, c Commitment) []Proof {
+	n := e.N()
+	out := make([]Proof, n*n)
+	for r := 0; r < n; r++ {
+		for col := 0; col < n; col++ {
+			id := blob.CellID{Row: uint16(r), Col: uint16(col)}
+			out[id.Index(n)] = Prove(c, id, e.Cell(id))
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package kzg
+
+import (
+	"math/rand"
+	"testing"
+
+	"pandas/internal/blob"
+)
+
+func makeExtended(t testing.TB, seed int64) *blob.Extended {
+	t.Helper()
+	p := blob.Params{K: 4, CellBytes: 32, ProofBytes: ProofSize}
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, p.BlobBytes())
+	rng.Read(data)
+	b, err := blob.NewBlob(p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := blob.Extend(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestCommitDeterministic(t *testing.T) {
+	e := makeExtended(t, 1)
+	c1 := Commit(e)
+	c2 := Commit(e)
+	if c1 != c2 {
+		t.Fatal("Commit not deterministic")
+	}
+}
+
+func TestCommitSensitiveToData(t *testing.T) {
+	e1 := makeExtended(t, 1)
+	e2 := makeExtended(t, 2)
+	if Commit(e1) == Commit(e2) {
+		t.Fatal("different blobs share a commitment")
+	}
+}
+
+func TestProveVerifyRoundTrip(t *testing.T) {
+	e := makeExtended(t, 3)
+	c := Commit(e)
+	n := e.N()
+	for r := 0; r < n; r += 3 {
+		for col := 0; col < n; col += 3 {
+			id := blob.CellID{Row: uint16(r), Col: uint16(col)}
+			p := Prove(c, id, e.Cell(id))
+			if !Verify(c, id, e.Cell(id), p) {
+				t.Fatalf("Verify failed for %v", id)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsTamperedCell(t *testing.T) {
+	e := makeExtended(t, 4)
+	c := Commit(e)
+	id := blob.CellID{Row: 1, Col: 2}
+	cell := append([]byte(nil), e.Cell(id)...)
+	p := Prove(c, id, cell)
+	cell[0] ^= 1
+	if Verify(c, id, cell, p) {
+		t.Fatal("Verify accepted tampered cell")
+	}
+}
+
+func TestVerifyRejectsWrongPosition(t *testing.T) {
+	e := makeExtended(t, 5)
+	c := Commit(e)
+	id := blob.CellID{Row: 1, Col: 2}
+	p := Prove(c, id, e.Cell(id))
+	wrong := blob.CellID{Row: 2, Col: 1}
+	if Verify(c, wrong, e.Cell(id), p) {
+		t.Fatal("Verify accepted proof at wrong position")
+	}
+}
+
+func TestVerifyRejectsWrongCommitment(t *testing.T) {
+	e1 := makeExtended(t, 6)
+	e2 := makeExtended(t, 7)
+	c1, c2 := Commit(e1), Commit(e2)
+	id := blob.CellID{Row: 0, Col: 0}
+	p := Prove(c1, id, e1.Cell(id))
+	if Verify(c2, id, e1.Cell(id), p) {
+		t.Fatal("Verify accepted proof under wrong commitment")
+	}
+}
+
+func TestProveAllCoversMatrix(t *testing.T) {
+	e := makeExtended(t, 8)
+	c := Commit(e)
+	proofs := ProveAll(e, c)
+	n := e.N()
+	if len(proofs) != n*n {
+		t.Fatalf("len(proofs) = %d, want %d", len(proofs), n*n)
+	}
+	for _, idx := range []int{0, 1, n, n*n - 1} {
+		id := blob.CellIDFromIndex(idx, n)
+		if !Verify(c, id, e.Cell(id), proofs[idx]) {
+			t.Fatalf("proof %d invalid", idx)
+		}
+	}
+}
+
+func TestProofSizeMatchesPaper(t *testing.T) {
+	if ProofSize != 48 {
+		t.Fatalf("ProofSize = %d, want 48", ProofSize)
+	}
+	var p Proof
+	if len(p) != 48 {
+		t.Fatalf("len(Proof) = %d", len(p))
+	}
+}
+
+func TestMerkleRootEdgeCases(t *testing.T) {
+	// Empty and single-leaf trees must not panic and must be stable.
+	r0 := merkleRoot(nil)
+	r0b := merkleRoot(nil)
+	if r0 != r0b {
+		t.Fatal("empty root unstable")
+	}
+	leaf := [32]byte{1}
+	r1 := merkleRoot([][32]byte{leaf})
+	if r1 != leaf {
+		t.Fatal("single leaf should be its own root")
+	}
+	// Odd number of leaves (promotion path).
+	r3 := merkleRoot([][32]byte{{1}, {2}, {3}})
+	r3b := merkleRoot([][32]byte{{1}, {2}, {3}})
+	if r3 != r3b {
+		t.Fatal("odd-leaf root unstable")
+	}
+	if r3 == merkleRoot([][32]byte{{1}, {2}, {4}}) {
+		t.Fatal("root insensitive to last leaf")
+	}
+}
+
+func BenchmarkProve(b *testing.B) {
+	e := makeExtended(b, 9)
+	c := Commit(e)
+	id := blob.CellID{Row: 1, Col: 1}
+	cell := e.Cell(id)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Prove(c, id, cell)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	e := makeExtended(b, 10)
+	c := Commit(e)
+	id := blob.CellID{Row: 1, Col: 1}
+	cell := e.Cell(id)
+	p := Prove(c, id, cell)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(c, id, cell, p) {
+			b.Fatal("verify failed")
+		}
+	}
+}

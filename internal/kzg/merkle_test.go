@@ -1,0 +1,102 @@
+package kzg
+
+import (
+	"testing"
+
+	"pandas/internal/blob"
+)
+
+func TestMerkleProveVerify(t *testing.T) {
+	e := makeExtended(t, 20)
+	tree := NewMerkleTree(e)
+	root := tree.Root()
+	n := e.N()
+	for idx := 0; idx < n*n; idx += 3 {
+		id := blob.CellIDFromIndex(idx, n)
+		path := tree.Prove(id)
+		if !MerkleVerify(root, id, e.Cell(id), path, n) {
+			t.Fatalf("valid path rejected for %v", id)
+		}
+	}
+}
+
+func TestMerkleVerifyRejectsForgery(t *testing.T) {
+	e := makeExtended(t, 21)
+	tree := NewMerkleTree(e)
+	root := tree.Root()
+	n := e.N()
+	id := blob.CellID{Row: 2, Col: 3}
+	path := tree.Prove(id)
+
+	// Tampered payload: unlike the 48-byte hash scheme, NO party can
+	// produce a valid path for forged data.
+	forged := append([]byte(nil), e.Cell(id)...)
+	forged[0] ^= 1
+	if MerkleVerify(root, id, forged, path, n) {
+		t.Fatal("forged payload accepted")
+	}
+	// Wrong position.
+	other := blob.CellID{Row: 3, Col: 2}
+	if MerkleVerify(root, other, e.Cell(id), path, n) {
+		t.Fatal("wrong position accepted")
+	}
+	// Truncated path.
+	if MerkleVerify(root, id, e.Cell(id), path[:len(path)-1], n) {
+		t.Fatal("truncated path accepted")
+	}
+	// Wrong root.
+	var badRoot [32]byte
+	if MerkleVerify(badRoot, id, e.Cell(id), path, n) {
+		t.Fatal("wrong root accepted")
+	}
+}
+
+func TestMerkleProofSize(t *testing.T) {
+	// 512x512 = 2^18 leaves -> 18 levels -> 576 bytes.
+	if got := MerkleProofSize(512); got != 18*32 {
+		t.Fatalf("MerkleProofSize(512) = %d, want %d", got, 18*32)
+	}
+	// The paper's 48-byte KZG proofs are 12x smaller — the reason real
+	// deployments use polynomial commitments.
+	if MerkleProofSize(512) <= ProofSize {
+		t.Fatal("expected Merkle proofs to be larger than KZG proofs")
+	}
+}
+
+func TestMerkleDeterministicRoot(t *testing.T) {
+	e := makeExtended(t, 22)
+	r1 := NewMerkleTree(e).Root()
+	r2 := NewMerkleTree(e).Root()
+	if r1 != r2 {
+		t.Fatal("root not deterministic")
+	}
+	e2 := makeExtended(t, 23)
+	if NewMerkleTree(e2).Root() == r1 {
+		t.Fatal("different blobs share a root")
+	}
+}
+
+func BenchmarkMerkleProve(b *testing.B) {
+	e := makeExtended(b, 24)
+	tree := NewMerkleTree(e)
+	id := blob.CellID{Row: 1, Col: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Prove(id)
+	}
+}
+
+func BenchmarkMerkleVerify(b *testing.B) {
+	e := makeExtended(b, 25)
+	tree := NewMerkleTree(e)
+	id := blob.CellID{Row: 1, Col: 1}
+	path := tree.Prove(id)
+	root := tree.Root()
+	n := e.N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !MerkleVerify(root, id, e.Cell(id), path, n) {
+			b.Fatal("verify failed")
+		}
+	}
+}

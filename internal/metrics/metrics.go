@@ -1,0 +1,313 @@
+// Package metrics provides the summary statistics the paper's evaluation
+// reports: distributions of completion times with percentiles, CDF
+// series for figures, and mean/stddev aggregates for Table 1.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Distribution summarizes a sample of durations. Negative inputs mean
+// "never completed" and are tracked separately as failures.
+type Distribution struct {
+	sorted   []time.Duration
+	failures int
+}
+
+// NewDistribution builds a distribution from raw samples; values < 0
+// count as failures (e.g. nodes that missed the phase entirely).
+func NewDistribution(samples []time.Duration) *Distribution {
+	d := &Distribution{}
+	for _, s := range samples {
+		if s < 0 {
+			d.failures++
+			continue
+		}
+		d.sorted = append(d.sorted, s)
+	}
+	sort.Slice(d.sorted, func(i, j int) bool { return d.sorted[i] < d.sorted[j] })
+	return d
+}
+
+// Count returns the number of successful samples.
+func (d *Distribution) Count() int { return len(d.sorted) }
+
+// Failures returns the number of never-completed samples.
+func (d *Distribution) Failures() int { return d.failures }
+
+// Total returns successes plus failures.
+func (d *Distribution) Total() int { return len(d.sorted) + d.failures }
+
+// Min returns the smallest sample (0 if empty).
+func (d *Distribution) Min() time.Duration {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	return d.sorted[0]
+}
+
+// Max returns the largest sample (0 if empty).
+func (d *Distribution) Max() time.Duration {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	return d.sorted[len(d.sorted)-1]
+}
+
+// Mean returns the arithmetic mean of successful samples.
+func (d *Distribution) Mean() time.Duration {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range d.sorted {
+		sum += s
+	}
+	return sum / time.Duration(len(d.sorted))
+}
+
+// Median returns the 50th percentile.
+func (d *Distribution) Median() time.Duration { return d.Percentile(50) }
+
+// Percentile returns the p-th percentile (0 < p <= 100) of successful
+// samples, failures excluded. Uses the nearest-rank method.
+func (d *Distribution) Percentile(p float64) time.Duration {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return d.sorted[0]
+	}
+	if p >= 100 {
+		return d.sorted[len(d.sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(d.sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return d.sorted[rank-1]
+}
+
+// FractionWithin returns the fraction of ALL samples (failures included in
+// the denominator) that completed within the deadline — the paper's
+// "met the 4 s deadline" metric.
+func (d *Distribution) FractionWithin(deadline time.Duration) float64 {
+	if d.Total() == 0 {
+		return 0
+	}
+	n := sort.Search(len(d.sorted), func(i int) bool { return d.sorted[i] > deadline })
+	return float64(n) / float64(d.Total())
+}
+
+// CDFPoint is one point of a cumulative distribution series.
+type CDFPoint struct {
+	Value    time.Duration
+	Fraction float64 // cumulative fraction of ALL samples
+}
+
+// CDF returns an evenly subsampled CDF with at most points entries,
+// suitable for plotting the paper's figures.
+func (d *Distribution) CDF(points int) []CDFPoint {
+	n := len(d.sorted)
+	if n == 0 || points < 1 {
+		return nil
+	}
+	if points > n {
+		points = n
+	}
+	out := make([]CDFPoint, 0, points)
+	total := float64(d.Total())
+	for i := 0; i < points; i++ {
+		idx := (i + 1) * n / points
+		if idx < 1 {
+			idx = 1
+		}
+		out = append(out, CDFPoint{
+			Value:    d.sorted[idx-1],
+			Fraction: float64(idx) / total,
+		})
+	}
+	return out
+}
+
+// Summary formats the distribution like the paper's prose:
+// "median=..., P99=..., max=..., on-time=...%".
+func (d *Distribution) Summary(deadline time.Duration) string {
+	return fmt.Sprintf("n=%d median=%s P99=%s max=%s on-time=%.1f%%",
+		d.Total(),
+		formatMs(d.Median()), formatMs(d.Percentile(99)), formatMs(d.Max()),
+		100*d.FractionWithin(deadline))
+}
+
+func formatMs(d time.Duration) string {
+	return fmt.Sprintf("%dms", d.Milliseconds())
+}
+
+// Scalar summarizes a sample of float64 values (message counts, byte
+// volumes) with mean and standard deviation, as in Table 1.
+type Scalar struct {
+	values []float64
+}
+
+// NewScalar builds a scalar aggregate.
+func NewScalar(values []float64) *Scalar {
+	return &Scalar{values: append([]float64(nil), values...)}
+}
+
+// Add appends a value.
+func (s *Scalar) Add(v float64) { s.values = append(s.values, v) }
+
+// Count returns the sample size.
+func (s *Scalar) Count() int { return len(s.values) }
+
+// Mean returns the arithmetic mean.
+func (s *Scalar) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// StdDev returns the population standard deviation.
+func (s *Scalar) StdDev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	acc := 0.0
+	for _, v := range s.values {
+		d := v - mean
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+// Max returns the largest value.
+func (s *Scalar) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s.values {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// MeanStd formats "mean ± std" with the given precision, Table 1 style.
+func (s *Scalar) MeanStd() string {
+	return fmt.Sprintf("%.0f ± %.0f", s.Mean(), s.StdDev())
+}
+
+// Table renders rows of labeled columns as an aligned text table, the
+// output format of the experiment binaries.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.header) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCDFCSV writes a CDF as "ms,fraction" rows, ready for gnuplot or
+// matplotlib — the format used to regenerate the paper's figures as
+// plots rather than tables.
+func (d *Distribution) WriteCDFCSV(w io.Writer, points int) error {
+	if _, err := fmt.Fprintln(w, "ms,fraction"); err != nil {
+		return err
+	}
+	for _, pt := range d.CDF(points) {
+		if _, err := fmt.Fprintf(w, "%d,%.6f\n", pt.Value.Milliseconds(), pt.Fraction); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

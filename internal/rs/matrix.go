@@ -1,0 +1,131 @@
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"pandas/internal/gf256"
+)
+
+// ErrSingular is returned when a matrix that must be invertible is not.
+var ErrSingular = errors.New("rs: matrix is singular")
+
+// matrix is a dense row-major matrix over GF(2^8).
+type matrix struct {
+	rows, cols int
+	data       []byte // len rows*cols
+}
+
+func newMatrix(rows, cols int) matrix {
+	return matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+func (m matrix) at(r, c int) byte     { return m.data[r*m.cols+c] }
+func (m matrix) set(r, c int, v byte) { m.data[r*m.cols+c] = v }
+func (m matrix) row(r int) []byte     { return m.data[r*m.cols : (r+1)*m.cols] }
+func (m matrix) String() string       { return fmt.Sprintf("matrix(%dx%d)", m.rows, m.cols) }
+
+// identity returns the n-by-n identity matrix.
+func identity(n int) matrix {
+	m := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.set(i, i, 1)
+	}
+	return m
+}
+
+// vandermonde returns the rows-by-cols matrix with entry (r, c) equal to
+// r^c, using distinct field elements per row so any cols rows are linearly
+// independent.
+func vandermonde(rows, cols int) matrix {
+	m := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.set(r, c, gf256.Pow(byte(r), c))
+		}
+	}
+	return m
+}
+
+// mul returns m * other.
+func (m matrix) mul(other matrix) matrix {
+	if m.cols != other.rows {
+		panic("rs: matrix dimension mismatch")
+	}
+	out := newMatrix(m.rows, other.cols)
+	for r := 0; r < m.rows; r++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.at(r, k)
+			if a == 0 {
+				continue
+			}
+			gf256.MulAddSlice(a, other.row(k), out.row(r))
+		}
+	}
+	return out
+}
+
+// subMatrix returns the matrix restricted to rows [rmin, rmax) and
+// columns [cmin, cmax), as a copy.
+func (m matrix) subMatrix(rmin, rmax, cmin, cmax int) matrix {
+	out := newMatrix(rmax-rmin, cmax-cmin)
+	for r := rmin; r < rmax; r++ {
+		for c := cmin; c < cmax; c++ {
+			out.set(r-rmin, c-cmin, m.at(r, c))
+		}
+	}
+	return out
+}
+
+// invert returns the inverse of a square matrix using Gauss-Jordan
+// elimination, or ErrSingular.
+func (m matrix) invert() (matrix, error) {
+	if m.rows != m.cols {
+		panic("rs: cannot invert non-square matrix")
+	}
+	n := m.rows
+	// Work on [m | I] and reduce the left half to I.
+	work := newMatrix(n, 2*n)
+	for r := 0; r < n; r++ {
+		copy(work.row(r)[:n], m.row(r))
+		work.set(r, n+r, 1)
+	}
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.at(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return matrix{}, ErrSingular
+		}
+		if pivot != col {
+			pr, cr := work.row(pivot), work.row(col)
+			for i := range pr {
+				pr[i], cr[i] = cr[i], pr[i]
+			}
+		}
+		// Scale pivot row to make the pivot 1.
+		if pv := work.at(col, col); pv != 1 {
+			inv := gf256.Inv(pv)
+			gf256.MulSlice(inv, work.row(col), work.row(col))
+		}
+		// Eliminate the column from all other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if f := work.at(r, col); f != 0 {
+				gf256.MulAddSlice(f, work.row(col), work.row(r))
+			}
+		}
+	}
+	out := newMatrix(n, n)
+	for r := 0; r < n; r++ {
+		copy(out.row(r), work.row(r)[n:])
+	}
+	return out, nil
+}

@@ -1,0 +1,212 @@
+// Package rs implements a systematic Reed-Solomon erasure code over
+// GF(2^8).
+//
+// A Codec splits data into k shards and produces n-k parity shards such
+// that the original data can be reconstructed from ANY k of the n shards.
+// PANDAS uses rate-1/2 codes (n = 2k) per row and per column of the blob
+// matrix: each 256-cell row extends to 512 cells and survives the loss of
+// any half of them.
+//
+// The construction is the classic systematic Vandermonde code: an n-by-k
+// Vandermonde matrix is normalized (multiplied by the inverse of its top
+// k-by-k block) so the first k rows form the identity. Encoding is then a
+// matrix-vector product per byte position; decoding gathers any k surviving
+// rows of the encode matrix, inverts, and re-multiplies.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"pandas/internal/gf256"
+)
+
+// Limits on code parameters. GF(2^8) Vandermonde rows must be distinct
+// field elements, capping total shards at 256.
+const (
+	MaxShards = 256
+)
+
+// Errors returned by the codec.
+var (
+	ErrInvalidParams = errors.New("rs: invalid codec parameters")
+	ErrTooFewShards  = errors.New("rs: not enough shards to reconstruct")
+	ErrShardSize     = errors.New("rs: shards have inconsistent sizes")
+	ErrShardCount    = errors.New("rs: wrong number of shards")
+)
+
+// Codec encodes k data shards into n total shards and reconstructs from
+// any k of them. A Codec is immutable and safe for concurrent use.
+type Codec struct {
+	k, n   int
+	encode matrix // n x k; top k rows are the identity
+}
+
+// New creates a codec with k data shards and n total shards
+// (n-k parity shards). Requires 1 <= k < n <= MaxShards.
+func New(k, n int) (*Codec, error) {
+	if k < 1 || n <= k || n > MaxShards {
+		return nil, fmt.Errorf("%w: k=%d n=%d", ErrInvalidParams, k, n)
+	}
+	v := vandermonde(n, k)
+	top := v.subMatrix(0, k, 0, k)
+	topInv, err := top.invert()
+	if err != nil {
+		return nil, fmt.Errorf("rs: vandermonde top block: %w", err)
+	}
+	return &Codec{k: k, n: n, encode: v.mul(topInv)}, nil
+}
+
+// DataShards returns k, the number of data shards.
+func (c *Codec) DataShards() int { return c.k }
+
+// TotalShards returns n, the total number of shards.
+func (c *Codec) TotalShards() int { return c.n }
+
+// ParityShards returns n - k.
+func (c *Codec) ParityShards() int { return c.n - c.k }
+
+// Encode computes the n-k parity shards from the k data shards.
+// shards must have length n; the first k entries hold the data and must
+// be non-nil slices of equal length. The remaining n-k entries are
+// overwritten (allocated if nil or mis-sized).
+func (c *Codec) Encode(shards [][]byte) error {
+	if len(shards) != c.n {
+		return fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), c.n)
+	}
+	size, err := c.checkDataShards(shards[:c.k])
+	if err != nil {
+		return err
+	}
+	for i := c.k; i < c.n; i++ {
+		if len(shards[i]) != size {
+			shards[i] = make([]byte, size)
+		} else {
+			clear(shards[i])
+		}
+		row := c.encode.row(i)
+		for j := 0; j < c.k; j++ {
+			mulAdd(row[j], shards[j], shards[i])
+		}
+	}
+	return nil
+}
+
+// Reconstruct fills in missing shards (nil entries) in place. shards must
+// have length n; at least k entries must be present. Both data and parity
+// shards are regenerated.
+func (c *Codec) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.n {
+		return fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), c.n)
+	}
+	present := make([]int, 0, c.k)
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrShardSize, i, len(s), size)
+		}
+		present = append(present, i)
+	}
+	if len(present) < c.k {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(present), c.k)
+	}
+	if len(present) == c.n {
+		return nil // nothing missing
+	}
+
+	// Recover data shards first: take the encode-matrix rows of k present
+	// shards, invert, and multiply by the present shard vector.
+	chosen := present[:c.k]
+	sub := newMatrix(c.k, c.k)
+	for r, idx := range chosen {
+		copy(sub.row(r), c.encode.row(idx))
+	}
+	dec, err := sub.invert()
+	if err != nil {
+		return fmt.Errorf("rs: decode matrix: %w", err)
+	}
+	// data[j] = sum_r dec[j][r] * shards[chosen[r]]
+	for j := 0; j < c.k; j++ {
+		if shards[j] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := dec.row(j)
+		for r, idx := range chosen {
+			mulAdd(row[r], shards[idx], out)
+		}
+		shards[j] = out
+	}
+	// Regenerate missing parity shards from the (now complete) data.
+	for i := c.k; i < c.n; i++ {
+		if shards[i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.encode.row(i)
+		for j := 0; j < c.k; j++ {
+			mulAdd(row[j], shards[j], out)
+		}
+		shards[i] = out
+	}
+	return nil
+}
+
+// Verify checks that the parity shards are consistent with the data
+// shards. All n shards must be present and equally sized.
+func (c *Codec) Verify(shards [][]byte) (bool, error) {
+	if len(shards) != c.n {
+		return false, fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), c.n)
+	}
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			return false, fmt.Errorf("%w: shard %d is missing", ErrShardCount, i)
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return false, ErrShardSize
+		}
+	}
+	buf := make([]byte, size)
+	for i := c.k; i < c.n; i++ {
+		clear(buf)
+		row := c.encode.row(i)
+		for j := 0; j < c.k; j++ {
+			mulAdd(row[j], shards[j], buf)
+		}
+		for b := range buf {
+			if buf[b] != shards[i][b] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func (c *Codec) checkDataShards(data [][]byte) (int, error) {
+	size := -1
+	for i, s := range data {
+		if s == nil {
+			return 0, fmt.Errorf("%w: data shard %d is nil", ErrShardCount, i)
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrShardSize, i, len(s), size)
+		}
+	}
+	if size == 0 {
+		return 0, fmt.Errorf("%w: empty shards", ErrShardSize)
+	}
+	return size, nil
+}
+
+// mulAdd is a thin wrapper so call sites read naturally.
+func mulAdd(c byte, src, dst []byte) { gf256.MulAddSlice(c, src, dst) }

@@ -1,0 +1,282 @@
+package rs
+
+import (
+	"fmt"
+
+	"pandas/internal/gf65536"
+)
+
+// MaxShards16 caps the total shard count of a Codec16 (distinct GF(2^16)
+// evaluation points).
+const MaxShards16 = 65536
+
+// Codec16 is a systematic Reed-Solomon codec over GF(2^16), supporting up
+// to 65536 total shards. Shard contents are interpreted as big-endian
+// 16-bit words, so shard sizes must be even. This is the codec used for
+// the 256->512 row/column extension of the PANDAS blob matrix.
+//
+// A Codec16 is immutable and safe for concurrent use.
+type Codec16 struct {
+	k, n   int
+	encode matrix16 // n x k, top k rows identity
+}
+
+// matrix16 is a dense row-major matrix over GF(2^16).
+type matrix16 struct {
+	rows, cols int
+	data       []uint16
+}
+
+func newMatrix16(rows, cols int) matrix16 {
+	return matrix16{rows: rows, cols: cols, data: make([]uint16, rows*cols)}
+}
+
+func (m matrix16) at(r, c int) uint16     { return m.data[r*m.cols+c] }
+func (m matrix16) set(r, c int, v uint16) { m.data[r*m.cols+c] = v }
+func (m matrix16) row(r int) []uint16     { return m.data[r*m.cols : (r+1)*m.cols] }
+
+func (m matrix16) mul(other matrix16) matrix16 {
+	if m.cols != other.rows {
+		panic("rs: matrix16 dimension mismatch")
+	}
+	out := newMatrix16(m.rows, other.cols)
+	for r := 0; r < m.rows; r++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.at(r, k)
+			if a == 0 {
+				continue
+			}
+			gf65536.MulAddSlice(a, other.row(k), out.row(r))
+		}
+	}
+	return out
+}
+
+func (m matrix16) subMatrix(rmin, rmax, cmin, cmax int) matrix16 {
+	out := newMatrix16(rmax-rmin, cmax-cmin)
+	for r := rmin; r < rmax; r++ {
+		for c := cmin; c < cmax; c++ {
+			out.set(r-rmin, c-cmin, m.at(r, c))
+		}
+	}
+	return out
+}
+
+func (m matrix16) invert() (matrix16, error) {
+	if m.rows != m.cols {
+		panic("rs: cannot invert non-square matrix16")
+	}
+	n := m.rows
+	work := newMatrix16(n, 2*n)
+	for r := 0; r < n; r++ {
+		copy(work.row(r)[:n], m.row(r))
+		work.set(r, n+r, 1)
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.at(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return matrix16{}, ErrSingular
+		}
+		if pivot != col {
+			pr, cr := work.row(pivot), work.row(col)
+			for i := range pr {
+				pr[i], cr[i] = cr[i], pr[i]
+			}
+		}
+		if pv := work.at(col, col); pv != 1 {
+			inv := gf65536.Inv(pv)
+			gf65536.MulSlice(inv, work.row(col), work.row(col))
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if f := work.at(r, col); f != 0 {
+				gf65536.MulAddSlice(f, work.row(col), work.row(r))
+			}
+		}
+	}
+	out := newMatrix16(n, n)
+	for r := 0; r < n; r++ {
+		copy(out.row(r), work.row(r)[n:])
+	}
+	return out, nil
+}
+
+func vandermonde16(rows, cols int) matrix16 {
+	m := newMatrix16(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.set(r, c, gf65536.Pow(uint16(r), c))
+		}
+	}
+	return m
+}
+
+// New16 creates a GF(2^16) codec with k data shards and n total shards.
+// Requires 1 <= k < n <= MaxShards16.
+func New16(k, n int) (*Codec16, error) {
+	if k < 1 || n <= k || n > MaxShards16 {
+		return nil, fmt.Errorf("%w: k=%d n=%d", ErrInvalidParams, k, n)
+	}
+	v := vandermonde16(n, k)
+	top := v.subMatrix(0, k, 0, k)
+	topInv, err := top.invert()
+	if err != nil {
+		return nil, fmt.Errorf("rs: vandermonde16 top block: %w", err)
+	}
+	return &Codec16{k: k, n: n, encode: v.mul(topInv)}, nil
+}
+
+// DataShards returns k.
+func (c *Codec16) DataShards() int { return c.k }
+
+// TotalShards returns n.
+func (c *Codec16) TotalShards() int { return c.n }
+
+// ParityShards returns n - k.
+func (c *Codec16) ParityShards() int { return c.n - c.k }
+
+// Encode computes parity shards n-k..n-1 from data shards 0..k-1.
+// All data shards must be non-nil, equally sized, and of even length.
+func (c *Codec16) Encode(shards [][]byte) error {
+	if len(shards) != c.n {
+		return fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), c.n)
+	}
+	size, err := checkEvenShards(shards[:c.k])
+	if err != nil {
+		return err
+	}
+	for i := c.k; i < c.n; i++ {
+		if len(shards[i]) != size {
+			shards[i] = make([]byte, size)
+		} else {
+			clear(shards[i])
+		}
+		row := c.encode.row(i)
+		for j := 0; j < c.k; j++ {
+			gf65536.MulAddBytes(row[j], shards[j], shards[i])
+		}
+	}
+	return nil
+}
+
+// Reconstruct fills in nil shards in place given at least k present shards.
+func (c *Codec16) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.n {
+		return fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), c.n)
+	}
+	present := make([]int, 0, c.k)
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrShardSize, i, len(s), size)
+		}
+		present = append(present, i)
+	}
+	if size > 0 && size%2 != 0 {
+		return fmt.Errorf("%w: odd shard size %d", ErrShardSize, size)
+	}
+	if len(present) < c.k {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(present), c.k)
+	}
+	if len(present) == c.n {
+		return nil
+	}
+	chosen := present[:c.k]
+	sub := newMatrix16(c.k, c.k)
+	for r, idx := range chosen {
+		copy(sub.row(r), c.encode.row(idx))
+	}
+	dec, err := sub.invert()
+	if err != nil {
+		return fmt.Errorf("rs: decode matrix16: %w", err)
+	}
+	for j := 0; j < c.k; j++ {
+		if shards[j] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := dec.row(j)
+		for r, idx := range chosen {
+			gf65536.MulAddBytes(row[r], shards[idx], out)
+		}
+		shards[j] = out
+	}
+	for i := c.k; i < c.n; i++ {
+		if shards[i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.encode.row(i)
+		for j := 0; j < c.k; j++ {
+			gf65536.MulAddBytes(row[j], shards[j], out)
+		}
+		shards[i] = out
+	}
+	return nil
+}
+
+// Verify checks parity consistency; all shards must be present.
+func (c *Codec16) Verify(shards [][]byte) (bool, error) {
+	if len(shards) != c.n {
+		return false, fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), c.n)
+	}
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			return false, fmt.Errorf("%w: shard %d is missing", ErrShardCount, i)
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return false, ErrShardSize
+		}
+	}
+	buf := make([]byte, size)
+	for i := c.k; i < c.n; i++ {
+		clear(buf)
+		row := c.encode.row(i)
+		for j := 0; j < c.k; j++ {
+			gf65536.MulAddBytes(row[j], shards[j], buf)
+		}
+		for b := range buf {
+			if buf[b] != shards[i][b] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func checkEvenShards(data [][]byte) (int, error) {
+	size := -1
+	for i, s := range data {
+		if s == nil {
+			return 0, fmt.Errorf("%w: data shard %d is nil", ErrShardCount, i)
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrShardSize, i, len(s), size)
+		}
+	}
+	if size == 0 {
+		return 0, fmt.Errorf("%w: empty shards", ErrShardSize)
+	}
+	if size%2 != 0 {
+		return 0, fmt.Errorf("%w: odd shard size %d (GF(2^16) needs 16-bit words)", ErrShardSize, size)
+	}
+	return size, nil
+}

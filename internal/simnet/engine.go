@@ -1,0 +1,110 @@
+// Package simnet is a deterministic discrete-event network simulator.
+//
+// It plays the role of the paper's two evaluation substrates at once: the
+// 80-server cluster with tc-emulated WAN latencies (for 1,000 nodes) and
+// the PeerSim simulator (up to 20,000 nodes). A single-threaded event loop
+// over a virtual clock delivers messages with
+//
+//	delay = uplink queueing + transmission + propagation +
+//	        downlink queueing + reception
+//
+// where transmission/reception times derive from per-node bandwidth caps
+// (25 Mbps for ordinary nodes, 10 Gbps for the builder, as in the paper)
+// and propagation comes from an all-pairs latency model (package latency).
+// Messages are independently lost with a configurable probability (3% in
+// the paper's testbed). All randomness is drawn from a seeded generator,
+// so runs are exactly reproducible.
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break for equal times: FIFO
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event core: a virtual clock and an event queue.
+// It is not safe for concurrent use; all callbacks run on the caller's
+// goroutine inside Run.
+type Engine struct {
+	now   time.Duration
+	seq   uint64
+	queue eventHeap
+	rng   *rand.Rand
+}
+
+// NewEngine creates an engine with a deterministic random source.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand exposes the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn at absolute virtual time t. Times in the past run at the
+// current time (never before).
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn delay after the current virtual time.
+func (e *Engine) After(delay time.Duration, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// Run executes events in timestamp order until the queue is empty or the
+// next event is later than until. It returns the number of events run.
+func (e *Engine) Run(until time.Duration) int {
+	n := 0
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.fn()
+		n++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }

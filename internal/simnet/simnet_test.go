@@ -1,0 +1,369 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineRunsInTimestampOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.At(30*time.Millisecond, func() { order = append(order, 3) })
+	e.At(10*time.Millisecond, func() { order = append(order, 1) })
+	e.At(20*time.Millisecond, func() { order = append(order, 2) })
+	if n := e.Run(time.Second); n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("Now = %v, want advance to until", e.Now())
+	}
+}
+
+func TestEngineFIFOForEqualTimes(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineStopsAtUntil(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.At(2*time.Second, func() { ran = true })
+	e.Run(time.Second)
+	if ran {
+		t.Fatal("event past until executed")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	e.Run(3 * time.Second)
+	if !ran {
+		t.Fatal("event not executed on second Run")
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var hits []time.Duration
+	e.At(10*time.Millisecond, func() {
+		hits = append(hits, e.Now())
+		e.After(5*time.Millisecond, func() {
+			hits = append(hits, e.Now())
+		})
+	})
+	e.Run(time.Second)
+	if len(hits) != 2 || hits[0] != 10*time.Millisecond || hits[1] != 15*time.Millisecond {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestEnginePastEventsRunNow(t *testing.T) {
+	e := NewEngine(1)
+	e.At(50*time.Millisecond, func() {
+		e.At(10*time.Millisecond, func() { // in the past
+			if e.Now() != 50*time.Millisecond {
+				t.Errorf("past event ran at %v", e.Now())
+			}
+		})
+	})
+	e.Run(time.Second)
+}
+
+func newTestNet(t *testing.T, lat LatencyModel, loss float64) *Network {
+	t.Helper()
+	n, err := New(Config{Latency: lat, LossRate: loss, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNetworkDeliversWithLatency(t *testing.T) {
+	n := newTestNet(t, ConstantLatency(30*time.Millisecond), 0)
+	var gotAt time.Duration
+	var gotFrom, gotSize int
+	a := n.AddNode(nil, 0, 0) // infinite bandwidth
+	b := n.AddNode(func(from, size int, payload any) {
+		gotAt = n.Now()
+		gotFrom = from
+		gotSize = size
+		if payload.(string) != "hello" {
+			t.Errorf("payload = %v", payload)
+		}
+	}, 0, 0)
+	n.Send(a, b, 100, "hello")
+	n.Run(time.Second)
+	if gotAt != 30*time.Millisecond {
+		t.Fatalf("delivered at %v, want 30ms", gotAt)
+	}
+	if gotFrom != a || gotSize != 100 {
+		t.Fatalf("from=%d size=%d", gotFrom, gotSize)
+	}
+	_ = b
+}
+
+func TestNetworkBandwidthSerialization(t *testing.T) {
+	// 1 Mbps uplink, two 12,500-byte messages = 100 ms transmission each.
+	// The second message must queue behind the first.
+	n := newTestNet(t, ConstantLatency(0), 0)
+	var arrivals []time.Duration
+	a := n.AddNode(nil, 1_000_000, 0)
+	b := n.AddNode(func(from, size int, payload any) {
+		arrivals = append(arrivals, n.Now())
+	}, 0, 0)
+	n.Send(a, b, 12500, nil)
+	n.Send(a, b, 12500, nil)
+	n.Run(time.Second)
+	if len(arrivals) != 2 {
+		t.Fatalf("got %d arrivals", len(arrivals))
+	}
+	if arrivals[0] != 100*time.Millisecond || arrivals[1] != 200*time.Millisecond {
+		t.Fatalf("arrivals = %v, want [100ms 200ms]", arrivals)
+	}
+}
+
+func TestNetworkDownlinkSerialization(t *testing.T) {
+	// Two senders with infinite uplink hit one 1 Mbps downlink.
+	n := newTestNet(t, ConstantLatency(0), 0)
+	var arrivals []time.Duration
+	a := n.AddNode(nil, 0, 0)
+	b := n.AddNode(nil, 0, 0)
+	c := n.AddNode(func(from, size int, payload any) {
+		arrivals = append(arrivals, n.Now())
+	}, 0, 1_000_000)
+	n.Send(a, c, 12500, nil)
+	n.Send(b, c, 12500, nil)
+	n.Run(time.Second)
+	if len(arrivals) != 2 {
+		t.Fatalf("got %d arrivals", len(arrivals))
+	}
+	if arrivals[0] != 100*time.Millisecond || arrivals[1] != 200*time.Millisecond {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+}
+
+func TestNetworkLossRate(t *testing.T) {
+	n := newTestNet(t, ConstantLatency(time.Millisecond), 0.3)
+	received := 0
+	a := n.AddNode(nil, 0, 0)
+	b := n.AddNode(func(from, size int, payload any) { received++ }, 0, 0)
+	const total = 5000
+	for i := 0; i < total; i++ {
+		n.Send(a, b, 10, nil)
+	}
+	n.Run(time.Minute)
+	lossRate := 1 - float64(received)/total
+	if lossRate < 0.25 || lossRate > 0.35 {
+		t.Fatalf("observed loss %v, want ~0.3", lossRate)
+	}
+	if n.Dropped() != total-received {
+		t.Fatalf("Dropped = %d, want %d", n.Dropped(), total-received)
+	}
+	if got := n.Stats(a).MsgsLost; got != total-received {
+		t.Fatalf("sender MsgsLost = %d", got)
+	}
+}
+
+func TestNetworkStats(t *testing.T) {
+	n := newTestNet(t, ConstantLatency(time.Millisecond), 0)
+	a := n.AddNode(nil, 0, 0)
+	b := n.AddNode(func(from, size int, payload any) {}, 0, 0)
+	n.Send(a, b, 100, nil)
+	n.Send(a, b, 200, nil)
+	n.Run(time.Second)
+	sa, sb := n.Stats(a), n.Stats(b)
+	if sa.MsgsSent != 2 || sa.BytesSent != 300 {
+		t.Fatalf("sender stats = %+v", sa)
+	}
+	if sb.MsgsRecv != 2 || sb.BytesRecv != 300 {
+		t.Fatalf("receiver stats = %+v", sb)
+	}
+	if sb.TotalBytes() != 300 || sb.TotalMsgs() != 2 {
+		t.Fatal("totals wrong")
+	}
+	n.ResetStats()
+	if n.Stats(a).MsgsSent != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestNetworkDeadNode(t *testing.T) {
+	n := newTestNet(t, ConstantLatency(time.Millisecond), 0)
+	delivered := false
+	a := n.AddNode(nil, 0, 0)
+	b := n.AddNode(func(from, size int, payload any) { delivered = true }, 0, 0)
+	if err := n.SetDead(b, true); err != nil {
+		t.Fatal(err)
+	}
+	if !n.IsDead(b) {
+		t.Fatal("IsDead = false")
+	}
+	n.Send(a, b, 10, nil)
+	n.Run(time.Second)
+	if delivered {
+		t.Fatal("dead node's handler invoked")
+	}
+	// Dead nodes also cannot send.
+	n.Send(b, a, 10, nil)
+	n.Run(2 * time.Second)
+	if n.Stats(b).MsgsSent != 0 {
+		t.Fatal("dead node sent a message")
+	}
+	if err := n.SetDead(99, true); err == nil {
+		t.Fatal("SetDead on unknown node should error")
+	}
+}
+
+func TestNetworkInvalidSendIgnored(t *testing.T) {
+	n := newTestNet(t, ConstantLatency(0), 0)
+	a := n.AddNode(nil, 0, 0)
+	n.Send(a, 99, 10, nil) // unknown destination: no panic
+	n.Send(-1, a, 10, nil)
+	n.Run(time.Second)
+}
+
+func TestNetworkConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil latency accepted")
+	}
+	if _, err := New(Config{Latency: ConstantLatency(0), LossRate: 1.5}); err == nil {
+		t.Fatal("loss rate 1.5 accepted")
+	}
+}
+
+func TestNetworkMinDelay(t *testing.T) {
+	n, err := New(Config{Latency: ConstantLatency(0), Seed: 1, MinDelay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at time.Duration
+	a := n.AddNode(nil, 0, 0)
+	b := n.AddNode(func(from, size int, payload any) { at = n.Now() }, 0, 0)
+	n.Send(a, b, 10, nil)
+	n.Run(time.Second)
+	if at != 5*time.Millisecond {
+		t.Fatalf("delivered at %v, want MinDelay", at)
+	}
+}
+
+func TestNetworkDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		n, err := New(Config{Latency: ConstantLatency(2 * time.Millisecond), LossRate: 0.1, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var arrivals []time.Duration
+		a := n.AddNode(nil, 1_000_000, 0)
+		b := n.AddNode(func(from, size int, payload any) { arrivals = append(arrivals, n.Now()) }, 0, 1_000_000)
+		for i := 0; i < 100; i++ {
+			n.Send(a, b, 100+i, nil)
+		}
+		n.Run(time.Minute)
+		return arrivals
+	}
+	r1, r2 := run(), run()
+	if len(r1) != len(r2) {
+		t.Fatalf("lengths differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestSetHandler(t *testing.T) {
+	n := newTestNet(t, ConstantLatency(0), 0)
+	a := n.AddNode(nil, 0, 0)
+	hit := false
+	if err := n.SetHandler(a, func(from, size int, payload any) { hit = true }); err != nil {
+		t.Fatal(err)
+	}
+	b := n.AddNode(nil, 0, 0)
+	n.Send(b, a, 1, nil)
+	n.Run(time.Second)
+	if !hit {
+		t.Fatal("replaced handler not invoked")
+	}
+	if err := n.SetHandler(42, nil); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	if transferTime(12500, 1_000_000) != 100*time.Millisecond {
+		t.Fatal("transferTime math wrong")
+	}
+	if transferTime(1000, 0) != 0 {
+		t.Fatal("infinite bandwidth should be instantaneous")
+	}
+}
+
+func BenchmarkNetworkSendDeliver(b *testing.B) {
+	n, err := New(Config{Latency: ConstantLatency(time.Millisecond), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := n.AddNode(nil, 0, 0)
+	c := n.AddNode(func(from, size int, payload any) {}, 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(a, c, 100, nil)
+		if i%1000 == 999 {
+			n.Run(n.Now() + time.Second)
+		}
+	}
+	n.Run(n.Now() + time.Hour)
+}
+
+func TestNetworkJitter(t *testing.T) {
+	n, err := New(Config{
+		Latency: ConstantLatency(10 * time.Millisecond),
+		Seed:    5,
+		Jitter:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals []time.Duration
+	a := n.AddNode(nil, 0, 0)
+	b := n.AddNode(func(from, size int, payload any) {
+		arrivals = append(arrivals, n.Now())
+	}, 0, 0)
+	base := n.Now()
+	for i := 0; i < 200; i++ {
+		n.Send(a, b, 10, nil)
+	}
+	n.Run(base + time.Second)
+	if len(arrivals) != 200 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+	varies := false
+	for _, at := range arrivals {
+		d := at - base
+		if d < 10*time.Millisecond || d >= 30*time.Millisecond {
+			t.Fatalf("arrival delay %v outside [10ms, 30ms)", d)
+		}
+		if d != arrivals[0]-base {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("jitter produced identical delays")
+	}
+}

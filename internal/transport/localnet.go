@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"pandas/internal/assign"
+	"pandas/internal/core"
+	"pandas/internal/ids"
+	"pandas/internal/wire"
+)
+
+// Localnet is a real-UDP PANDAS deployment on the loopback interface: N
+// nodes plus one builder, each with its own socket and event loop. It is
+// the repository's stand-in for the paper's 1,000-process cluster
+// deployment and powers the localnet example and the cross-validation
+// test.
+type Localnet struct {
+	Cfg     core.Config
+	Table   *core.Table
+	Nodes   []*core.Node
+	Builder *core.Builder
+
+	endpoints []*UDP // nodes 0..N-1, builder at index N
+	proposer  *ids.Identity
+}
+
+// NewLocalnet binds N node endpoints and one builder endpoint on
+// 127.0.0.1 and wires the protocol. Real payloads are used: the builder
+// must be given blob data via PrepareBlob before the first slot (done
+// here with deterministic filler).
+func NewLocalnet(cfg core.Config, n int, seed int64) (*Localnet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.RealPayloads = true
+	ln := &Localnet{Cfg: cfg}
+
+	nodeIDs := make([]ids.NodeID, n)
+	for i := range nodeIDs {
+		nodeIDs[i] = ids.NewTestIdentity(seed<<16 + int64(i)).ID
+	}
+	var epochSeed assign.Seed
+	epochSeed[0] = byte(seed)
+	epochSeed[1] = byte(seed >> 8)
+	table, err := core.NewTable(cfg.Assign, epochSeed, nodeIDs)
+	if err != nil {
+		return nil, err
+	}
+	ln.Table = table
+
+	// Bind all endpoints first so every peer table is complete.
+	addrs := make([]string, n+1)
+	for i := 0; i <= n; i++ {
+		ep, err := NewUDP(i, "127.0.0.1:0", cfg.Blob.CellBytes)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		ln.endpoints = append(ln.endpoints, ep)
+		addrs[i] = ep.Addr()
+	}
+	for _, ep := range ln.endpoints {
+		if err := ep.SetPeers(addrs); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+
+	proposer, err := ids.NewIdentity()
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("transport: proposer identity: %w", err)
+	}
+	ln.proposer = proposer
+
+	// Nodes.
+	for i := 0; i < n; i++ {
+		node := core.NewNode(cfg, i, table, ln.endpoints[i], seed^int64(i*7919))
+		node.SetSeedVerification(proposer.Public)
+		ln.Nodes = append(ln.Nodes, node)
+		ln.endpoints[i].Start(func(from, size int, payload any) {
+			node.HandleMessage(from, size, payload)
+		})
+	}
+
+	// Builder.
+	builderID := ids.NewTestIdentity(seed<<16 + int64(n) + 3).ID
+	builder := core.NewBuilder(cfg, n, builderID, table, ln.endpoints[n], seed+5)
+	builder.SetProposerSigner(func(slot uint64) [wire.SigSize]byte {
+		var sig [wire.SigSize]byte
+		copy(sig[:], proposer.Sign(wire.SeedSigningBytes(slot, builderID)))
+		return sig
+	})
+	ln.Builder = builder
+	ln.endpoints[n].Start(func(from, size int, payload any) {})
+
+	// Real data plane: load deterministic filler layer-2 data.
+	data := make([]byte, cfg.Blob.BlobBytes())
+	for i := range data {
+		data[i] = byte(i*2654435761 + 17)
+	}
+	if err := builder.PrepareBlob(data); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return ln, nil
+}
+
+// RunSlot starts a slot on every node, triggers seeding, and waits (real
+// time) until all nodes finish sampling or the timeout expires. It
+// returns per-node sampling durations measured from the seeding trigger
+// (negative = did not finish).
+func (ln *Localnet) RunSlot(slot uint64, timeout time.Duration) ([]time.Duration, error) {
+	type ack struct{}
+	started := make(chan ack, len(ln.Nodes))
+	for i, node := range ln.Nodes {
+		node := node
+		ln.endpoints[i].Run(func() {
+			node.StartSlot(slot)
+			started <- ack{}
+		})
+	}
+	for range ln.Nodes {
+		<-started
+	}
+
+	begin := time.Now()
+	seeded := make(chan ack, 1)
+	bIdx := len(ln.Nodes)
+	ln.endpoints[bIdx].Run(func() {
+		ln.Builder.SeedSlot(slot)
+		seeded <- ack{}
+	})
+	<-seeded
+
+	deadline := time.After(timeout)
+	ticker := time.NewTicker(20 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-deadline:
+			return ln.collect(begin), nil
+		case <-ticker.C:
+			if ln.allSampled() {
+				return ln.collect(begin), nil
+			}
+		}
+	}
+}
+
+// allSampled polls node completion on each node's own event loop.
+func (ln *Localnet) allSampled() bool {
+	done := make(chan bool, len(ln.Nodes))
+	for i, node := range ln.Nodes {
+		node := node
+		ln.endpoints[i].Run(func() { done <- node.Metrics.Sampled })
+	}
+	for range ln.Nodes {
+		if !<-done {
+			return false
+		}
+	}
+	return true
+}
+
+func (ln *Localnet) collect(begin time.Time) []time.Duration {
+	type sample struct {
+		i int
+		d time.Duration
+	}
+	ch := make(chan sample, len(ln.Nodes))
+	for i, node := range ln.Nodes {
+		i, node := i, node
+		ln.endpoints[i].Run(func() {
+			d := time.Duration(-1)
+			if node.Metrics.Sampled {
+				// Node clocks are per-endpoint; convert via wall time.
+				d = time.Since(begin) - (node.Transport().Now() - node.Metrics.SampledAt)
+			}
+			ch <- sample{i: i, d: d}
+		})
+	}
+	out := make([]time.Duration, len(ln.Nodes))
+	for range ln.Nodes {
+		s := <-ch
+		out[s.i] = s.d
+	}
+	return out
+}
+
+// Close shuts down every endpoint.
+func (ln *Localnet) Close() {
+	for _, ep := range ln.endpoints {
+		if ep != nil {
+			_ = ep.Close()
+		}
+	}
+}

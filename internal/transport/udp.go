@@ -1,0 +1,191 @@
+// Package transport provides a real UDP transport for PANDAS nodes,
+// playing the role the libp2p/devp2p stack plays for the paper's
+// prototype: every node binds a UDP socket, protocol messages are
+// serialized with the wire codec, and peers are addressed by index into a
+// shared peer table (the crawled "view").
+//
+// The transport satisfies core.Transport. Each endpoint owns a
+// single-threaded event loop, so the (deliberately lock-free) core.Node
+// state machine runs exactly as it does on the simulator's event loop.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pandas/internal/wire"
+)
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("transport: closed")
+
+// UDP is one node's transport endpoint.
+type UDP struct {
+	self      int
+	cellBytes int
+	conn      *net.UDPConn
+	peers     []*net.UDPAddr
+	addrIndex map[string]int
+	start     time.Time
+
+	events  chan func()
+	done    chan struct{}
+	wg      sync.WaitGroup
+	handler func(from, size int, payload any)
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewUDP binds a UDP endpoint. bind is this node's listen address
+// ("127.0.0.1:0" picks a port); peers will be filled in later with
+// SetPeers once every participant's address is known. cellBytes is the
+// cell payload size for the wire codec.
+func NewUDP(self int, bind string, cellBytes int) (*UDP, error) {
+	addr, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", bind, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", bind, err)
+	}
+	return &UDP{
+		self:      self,
+		cellBytes: cellBytes,
+		conn:      conn,
+		addrIndex: make(map[string]int),
+		start:     time.Now(),
+		events:    make(chan func(), 1024),
+		done:      make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the bound address (host:port).
+func (u *UDP) Addr() string { return u.conn.LocalAddr().String() }
+
+// SetPeers installs the peer table: peers[i] is node i's address. Must be
+// called before Start.
+func (u *UDP) SetPeers(addrs []string) error {
+	u.peers = make([]*net.UDPAddr, len(addrs))
+	u.addrIndex = make(map[string]int, len(addrs))
+	for i, a := range addrs {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			return fmt.Errorf("transport: resolve peer %d %q: %w", i, a, err)
+		}
+		u.peers[i] = ua
+		u.addrIndex[ua.String()] = i
+	}
+	return nil
+}
+
+// Start launches the receive and event loops; handler receives decoded
+// protocol messages on the event loop.
+func (u *UDP) Start(handler func(from, size int, payload any)) {
+	u.handler = handler
+	u.wg.Add(2)
+	go u.eventLoop()
+	go u.receiveLoop()
+}
+
+// Run schedules fn on the endpoint's event loop (e.g. to start a slot on
+// the same thread as message handling).
+func (u *UDP) Run(fn func()) {
+	select {
+	case u.events <- fn:
+	case <-u.done:
+	}
+}
+
+func (u *UDP) eventLoop() {
+	defer u.wg.Done()
+	for {
+		select {
+		case fn := <-u.events:
+			fn()
+		case <-u.done:
+			return
+		}
+	}
+}
+
+func (u *UDP) receiveLoop() {
+	defer u.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, raddr, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-u.done:
+				return
+			default:
+			}
+			continue
+		}
+		from, ok := u.addrIndex[raddr.String()]
+		if !ok {
+			continue // unknown sender
+		}
+		msg, err := wire.Decode(buf[:n], u.cellBytes)
+		if err != nil {
+			continue // malformed datagram
+		}
+		size := n + wire.OverheadIPUDP
+		u.Run(func() {
+			if u.handler != nil {
+				u.handler(from, size, msg)
+			}
+		})
+	}
+}
+
+// Send implements core.Transport: encode and transmit one datagram.
+// Errors (unknown peer, encode failure) are dropped silently, matching
+// UDP's fire-and-forget semantics.
+func (u *UDP) Send(to int, size int, payload any) {
+	if to < 0 || to >= len(u.peers) {
+		return
+	}
+	msg, ok := payload.(wire.Message)
+	if !ok {
+		return
+	}
+	data, err := wire.Encode(msg, u.cellBytes)
+	if err != nil {
+		return
+	}
+	_, _ = u.conn.WriteToUDP(data, u.peers[to])
+}
+
+// SendReliable implements core.Transport. Real UDP offers no reliability
+// distinction; it is identical to Send.
+func (u *UDP) SendReliable(to int, size int, payload any) { u.Send(to, size, payload) }
+
+// After implements core.Transport using wall-clock timers delivered onto
+// the event loop.
+func (u *UDP) After(d time.Duration, fn func()) {
+	timer := time.AfterFunc(d, func() { u.Run(fn) })
+	_ = timer
+}
+
+// Now implements core.Transport: time since the endpoint started.
+func (u *UDP) Now() time.Duration { return time.Since(u.start) }
+
+// Close shuts the endpoint down and waits for its loops.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return ErrClosed
+	}
+	u.closed = true
+	u.mu.Unlock()
+	close(u.done)
+	err := u.conn.Close()
+	u.wg.Wait()
+	return err
+}

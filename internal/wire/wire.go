@@ -1,0 +1,351 @@
+// Package wire defines the PANDAS message formats, their binary codecs,
+// and their wire-size accounting.
+//
+// PANDAS uses one-way, connectionless UDP messages with no session
+// establishment. Three protocol messages exist (Section 6):
+//
+//   - Seed: builder -> node, carrying the node's initial cells for a slot,
+//     the proposer's signature binding the builder identity, the blob
+//     commitment, and optionally a consolidation-boost map;
+//   - Query: node -> node, requesting a set of cells by ID;
+//   - Response: node -> node, carrying requested cells.
+//
+// The same structs travel through both substrates: the in-memory
+// simulator passes them by reference and charges Msg.WireSize() bytes,
+// while the real UDP transport serializes them with Encode/Decode. In
+// simulator "metadata mode" cell payloads are nil, but WireSize still
+// charges the full payload so bandwidth accounting matches the paper.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pandas/internal/blob"
+	"pandas/internal/ids"
+	"pandas/internal/kzg"
+)
+
+// Overheads and limits.
+const (
+	// OverheadIPUDP is the per-datagram IPv4 + UDP header cost counted
+	// against bandwidth.
+	OverheadIPUDP = 28
+	// SigSize is the ed25519 signature size (proposer binding).
+	SigSize = 64
+	// MaxCellsPerMessage caps cells per datagram so encoded messages stay
+	// under the 64 KB UDP limit with default 560 B cells.
+	MaxCellsPerMessage = 96
+)
+
+// MsgType tags wire messages.
+type MsgType uint8
+
+// Message types.
+const (
+	TypeSeed MsgType = iota + 1
+	TypeQuery
+	TypeResponse
+)
+
+// Errors returned by the codec.
+var (
+	ErrTruncated = errors.New("wire: truncated message")
+	ErrBadType   = errors.New("wire: unknown message type")
+	ErrTooLarge  = errors.New("wire: message exceeds datagram limit")
+)
+
+// Cell is one extended-matrix cell in flight: identifier, payload, and
+// KZG proof. In the simulator's metadata mode Data is nil and Proof zero,
+// but sizes are still charged in full.
+type Cell struct {
+	ID    blob.CellID
+	Data  []byte
+	Proof kzg.Proof
+}
+
+// Message is implemented by all PANDAS wire messages.
+type Message interface {
+	Type() MsgType
+	// WireSize returns the number of bytes the message occupies on the
+	// wire (including IP/UDP overhead) given the cell payload size.
+	WireSize(cellBytes int) int
+}
+
+// cellWire returns the per-cell wire cost: 4-byte ID + payload + proof.
+func cellWire(cellBytes int) int { return 4 + cellBytes + kzg.ProofSize }
+
+// BoostEntry is one record of the consolidation-boost map CB: it tells
+// the receiving node that the holder (identified by its rank within the
+// deterministic holder list of the line) was seeded cells
+// [Start, Start+Count) of the line. Holder ranks are resolvable locally
+// because the assignment function is deterministic.
+type BoostEntry struct {
+	Line      blob.Line
+	HolderRef uint16 // rank within the builder's sorted holder list
+	Start     uint16 // first position along the line
+	Count     uint16
+}
+
+// boostEntryWire is the encoded size of one boost entry:
+// kind(1) + line index(2) + holder(2) + start(2) + count(2).
+const boostEntryWire = 9
+
+// Seed is the builder's seeding message for one slot (one of possibly
+// several datagrams per node).
+type Seed struct {
+	Slot        uint64
+	Builder     ids.NodeID
+	ProposerSig [SigSize]byte
+	Commitment  kzg.Commitment
+	// ChunkIndex / ChunkCount let the receiver detect when its seed
+	// batch is complete: consolidation and sampling start then (or on
+	// the seed-wait timer if the tail chunk is lost).
+	ChunkIndex uint16
+	ChunkCount uint16
+	Cells      []Cell
+	Boost      []BoostEntry
+}
+
+// Type implements Message.
+func (*Seed) Type() MsgType { return TypeSeed }
+
+// WireSize implements Message.
+func (m *Seed) WireSize(cellBytes int) int {
+	return OverheadIPUDP + 1 + 8 + ids.IDSize + SigSize + kzg.CommitmentSize + 4 +
+		4 + len(m.Cells)*cellWire(cellBytes) +
+		4 + len(m.Boost)*boostEntryWire
+}
+
+// Query requests cells from a peer for a slot.
+type Query struct {
+	Slot  uint64
+	Cells []blob.CellID
+}
+
+// Type implements Message.
+func (*Query) Type() MsgType { return TypeQuery }
+
+// WireSize implements Message.
+func (m *Query) WireSize(cellBytes int) int {
+	return OverheadIPUDP + 1 + 8 + 4 + len(m.Cells)*4
+}
+
+// Response carries cells answering a Query (possibly delayed: queried
+// nodes buffer requests for cells they are assigned but have not yet
+// received).
+type Response struct {
+	Slot  uint64
+	Cells []Cell
+}
+
+// Type implements Message.
+func (*Response) Type() MsgType { return TypeResponse }
+
+// WireSize implements Message.
+func (m *Response) WireSize(cellBytes int) int {
+	return OverheadIPUDP + 1 + 8 + 4 + len(m.Cells)*cellWire(cellBytes)
+}
+
+// Encode serializes a message for UDP transport. cellBytes fixes the cell
+// payload size (cells with nil Data are encoded as zero payloads).
+func Encode(m Message, cellBytes int) ([]byte, error) {
+	var buf []byte
+	switch v := m.(type) {
+	case *Seed:
+		buf = make([]byte, 0, v.WireSize(cellBytes))
+		buf = append(buf, byte(TypeSeed))
+		buf = binary.BigEndian.AppendUint64(buf, v.Slot)
+		buf = append(buf, v.Builder[:]...)
+		buf = append(buf, v.ProposerSig[:]...)
+		buf = append(buf, v.Commitment[:]...)
+		buf = binary.BigEndian.AppendUint16(buf, v.ChunkIndex)
+		buf = binary.BigEndian.AppendUint16(buf, v.ChunkCount)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v.Cells)))
+		for _, c := range v.Cells {
+			buf = appendCell(buf, c, cellBytes)
+		}
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v.Boost)))
+		for _, b := range v.Boost {
+			buf = append(buf, byte(b.Line.Kind))
+			buf = binary.BigEndian.AppendUint16(buf, b.Line.Index)
+			buf = binary.BigEndian.AppendUint16(buf, b.HolderRef)
+			buf = binary.BigEndian.AppendUint16(buf, b.Start)
+			buf = binary.BigEndian.AppendUint16(buf, b.Count)
+		}
+	case *Query:
+		buf = make([]byte, 0, v.WireSize(cellBytes))
+		buf = append(buf, byte(TypeQuery))
+		buf = binary.BigEndian.AppendUint64(buf, v.Slot)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v.Cells)))
+		for _, id := range v.Cells {
+			buf = binary.BigEndian.AppendUint16(buf, id.Row)
+			buf = binary.BigEndian.AppendUint16(buf, id.Col)
+		}
+	case *Response:
+		buf = make([]byte, 0, v.WireSize(cellBytes))
+		buf = append(buf, byte(TypeResponse))
+		buf = binary.BigEndian.AppendUint64(buf, v.Slot)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v.Cells)))
+		for _, c := range v.Cells {
+			buf = appendCell(buf, c, cellBytes)
+		}
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrBadType, m)
+	}
+	if len(buf) > 65507 { // max UDP payload
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(buf))
+	}
+	return buf, nil
+}
+
+func appendCell(buf []byte, c Cell, cellBytes int) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, c.ID.Row)
+	buf = binary.BigEndian.AppendUint16(buf, c.ID.Col)
+	if c.Data == nil {
+		buf = append(buf, make([]byte, cellBytes)...)
+	} else {
+		buf = append(buf, c.Data[:cellBytes]...)
+	}
+	buf = append(buf, c.Proof[:]...)
+	return buf
+}
+
+// Decode parses a datagram produced by Encode.
+func Decode(data []byte, cellBytes int) (Message, error) {
+	if len(data) < 9 {
+		return nil, ErrTruncated
+	}
+	typ := MsgType(data[0])
+	slot := binary.BigEndian.Uint64(data[1:9])
+	r := reader{buf: data[9:]}
+	switch typ {
+	case TypeSeed:
+		m := &Seed{Slot: slot}
+		if !r.bytes(m.Builder[:]) || !r.bytes(m.ProposerSig[:]) || !r.bytes(m.Commitment[:]) {
+			return nil, ErrTruncated
+		}
+		if len(r.buf) < 4 {
+			return nil, ErrTruncated
+		}
+		m.ChunkIndex = binary.BigEndian.Uint16(r.buf[0:2])
+		m.ChunkCount = binary.BigEndian.Uint16(r.buf[2:4])
+		r.buf = r.buf[4:]
+		nCells, ok := r.uint32()
+		if !ok {
+			return nil, ErrTruncated
+		}
+		m.Cells = make([]Cell, 0, min(int(nCells), 4096))
+		for i := 0; i < int(nCells); i++ {
+			c, ok := r.cell(cellBytes)
+			if !ok {
+				return nil, ErrTruncated
+			}
+			m.Cells = append(m.Cells, c)
+		}
+		nBoost, ok := r.uint32()
+		if !ok {
+			return nil, ErrTruncated
+		}
+		m.Boost = make([]BoostEntry, 0, min(int(nBoost), 65536))
+		for i := 0; i < int(nBoost); i++ {
+			if len(r.buf) < boostEntryWire {
+				return nil, ErrTruncated
+			}
+			var b BoostEntry
+			b.Line.Kind = blob.LineKind(r.buf[0])
+			b.Line.Index = binary.BigEndian.Uint16(r.buf[1:3])
+			b.HolderRef = binary.BigEndian.Uint16(r.buf[3:5])
+			b.Start = binary.BigEndian.Uint16(r.buf[5:7])
+			b.Count = binary.BigEndian.Uint16(r.buf[7:9])
+			r.buf = r.buf[boostEntryWire:]
+			m.Boost = append(m.Boost, b)
+		}
+		return m, nil
+	case TypeQuery:
+		m := &Query{Slot: slot}
+		nCells, ok := r.uint32()
+		if !ok {
+			return nil, ErrTruncated
+		}
+		m.Cells = make([]blob.CellID, 0, min(int(nCells), 65536))
+		for i := 0; i < int(nCells); i++ {
+			if len(r.buf) < 4 {
+				return nil, ErrTruncated
+			}
+			m.Cells = append(m.Cells, blob.CellID{
+				Row: binary.BigEndian.Uint16(r.buf[0:2]),
+				Col: binary.BigEndian.Uint16(r.buf[2:4]),
+			})
+			r.buf = r.buf[4:]
+		}
+		return m, nil
+	case TypeResponse:
+		m := &Response{Slot: slot}
+		nCells, ok := r.uint32()
+		if !ok {
+			return nil, ErrTruncated
+		}
+		m.Cells = make([]Cell, 0, min(int(nCells), 4096))
+		for i := 0; i < int(nCells); i++ {
+			c, ok := r.cell(cellBytes)
+			if !ok {
+				return nil, ErrTruncated
+			}
+			m.Cells = append(m.Cells, c)
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, typ)
+	}
+}
+
+// reader is a tiny sequential decoder.
+type reader struct {
+	buf []byte
+}
+
+func (r *reader) bytes(dst []byte) bool {
+	if len(r.buf) < len(dst) {
+		return false
+	}
+	copy(dst, r.buf[:len(dst)])
+	r.buf = r.buf[len(dst):]
+	return true
+}
+
+func (r *reader) uint32() (uint32, bool) {
+	if len(r.buf) < 4 {
+		return 0, false
+	}
+	v := binary.BigEndian.Uint32(r.buf[:4])
+	r.buf = r.buf[4:]
+	return v, true
+}
+
+func (r *reader) cell(cellBytes int) (Cell, bool) {
+	need := 4 + cellBytes + kzg.ProofSize
+	if len(r.buf) < need {
+		return Cell{}, false
+	}
+	var c Cell
+	c.ID.Row = binary.BigEndian.Uint16(r.buf[0:2])
+	c.ID.Col = binary.BigEndian.Uint16(r.buf[2:4])
+	c.Data = append([]byte(nil), r.buf[4:4+cellBytes]...)
+	copy(c.Proof[:], r.buf[4+cellBytes:need])
+	r.buf = r.buf[need:]
+	return c, true
+}
+
+// SeedSigningBytes returns the canonical byte string the proposer signs to
+// bind a builder's identity to a slot. Every seeding message carries this
+// signature so nodes can accept blob data before the block arrives via
+// gossip (Section 6.1).
+func SeedSigningBytes(slot uint64, builder ids.NodeID) []byte {
+	buf := make([]byte, 0, 13+ids.IDSize)
+	buf = append(buf, "pandas-seed:"...)
+	buf = binary.BigEndian.AppendUint64(buf, slot)
+	buf = append(buf, builder[:]...)
+	return buf
+}

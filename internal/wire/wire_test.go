@@ -1,0 +1,308 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pandas/internal/blob"
+	"pandas/internal/ids"
+)
+
+const testCellBytes = 64
+
+func randCell(rng *rand.Rand) Cell {
+	c := Cell{ID: blob.CellID{Row: uint16(rng.Intn(512)), Col: uint16(rng.Intn(512))}}
+	c.Data = make([]byte, testCellBytes)
+	rng.Read(c.Data)
+	rng.Read(c.Proof[:])
+	return c
+}
+
+func TestSeedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := &Seed{
+		Slot:    42,
+		Builder: ids.NewTestIdentity(1).ID,
+	}
+	rng.Read(m.ProposerSig[:])
+	rng.Read(m.Commitment[:])
+	for i := 0; i < 10; i++ {
+		m.Cells = append(m.Cells, randCell(rng))
+	}
+	m.Boost = []BoostEntry{
+		{Line: blob.Line{Kind: blob.Row, Index: 7}, HolderRef: 3, Start: 0, Count: 12},
+		{Line: blob.Line{Kind: blob.Col, Index: 500}, HolderRef: 90, Start: 256, Count: 8},
+	}
+	data, err := Encode(m, testCellBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != m.WireSize(testCellBytes)-OverheadIPUDP {
+		t.Fatalf("encoded %d bytes, WireSize-overhead %d", len(data), m.WireSize(testCellBytes)-OverheadIPUDP)
+	}
+	got, err := Decode(data, testCellBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := got.(*Seed)
+	if !ok {
+		t.Fatalf("decoded %T", got)
+	}
+	if s.Slot != m.Slot || s.Builder != m.Builder || s.ProposerSig != m.ProposerSig || s.Commitment != m.Commitment {
+		t.Fatal("header fields mismatch")
+	}
+	if len(s.Cells) != len(m.Cells) {
+		t.Fatalf("cells %d vs %d", len(s.Cells), len(m.Cells))
+	}
+	for i := range s.Cells {
+		if s.Cells[i].ID != m.Cells[i].ID || !bytes.Equal(s.Cells[i].Data, m.Cells[i].Data) || s.Cells[i].Proof != m.Cells[i].Proof {
+			t.Fatalf("cell %d mismatch", i)
+		}
+	}
+	if len(s.Boost) != 2 || s.Boost[0] != m.Boost[0] || s.Boost[1] != m.Boost[1] {
+		t.Fatalf("boost mismatch: %+v", s.Boost)
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	m := &Query{Slot: 7, Cells: []blob.CellID{{Row: 1, Col: 2}, {Row: 3, Col: 4}, {Row: 511, Col: 0}}}
+	data, err := Encode(m, testCellBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data, testCellBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := got.(*Query)
+	if q.Slot != 7 || len(q.Cells) != 3 {
+		t.Fatal("query fields mismatch")
+	}
+	for i := range q.Cells {
+		if q.Cells[i] != m.Cells[i] {
+			t.Fatalf("cell id %d mismatch", i)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := &Response{Slot: 9}
+	for i := 0; i < 5; i++ {
+		m.Cells = append(m.Cells, randCell(rng))
+	}
+	data, err := Encode(m, testCellBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data, testCellBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got.(*Response)
+	if r.Slot != 9 || len(r.Cells) != 5 {
+		t.Fatal("response fields mismatch")
+	}
+	for i := range r.Cells {
+		if r.Cells[i].ID != m.Cells[i].ID || !bytes.Equal(r.Cells[i].Data, m.Cells[i].Data) {
+			t.Fatalf("cell %d mismatch", i)
+		}
+	}
+}
+
+func TestMetadataCellsEncodeAsZeros(t *testing.T) {
+	m := &Response{Slot: 1, Cells: []Cell{{ID: blob.CellID{Row: 5, Col: 6}}}} // nil Data
+	data, err := Encode(m, testCellBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data, testCellBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := got.(*Response).Cells[0]
+	if len(c.Data) != testCellBytes {
+		t.Fatalf("decoded payload %d bytes", len(c.Data))
+	}
+	for _, b := range c.Data {
+		if b != 0 {
+			t.Fatal("metadata cell not zero-encoded")
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil, testCellBytes); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, err := Decode([]byte{99, 0, 0, 0, 0, 0, 0, 0, 0}, testCellBytes); !errors.Is(err, ErrBadType) {
+		t.Fatalf("bad type: %v", err)
+	}
+	// Truncated query: claims 5 cells, provides none.
+	m := &Query{Slot: 1, Cells: []blob.CellID{{Row: 1, Col: 1}, {Row: 2, Col: 2}, {Row: 3, Col: 3}, {Row: 4, Col: 4}, {Row: 5, Col: 5}}}
+	data, err := Encode(m, testCellBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data[:14], testCellBytes); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated: %v", err)
+	}
+}
+
+func TestEncodeRejectsOversized(t *testing.T) {
+	m := &Response{Slot: 1}
+	for i := 0; i < 200; i++ { // 200 cells * 560+ bytes > 65507 with big cells
+		c := Cell{ID: blob.CellID{Row: uint16(i)}}
+		c.Data = make([]byte, 512)
+		m.Cells = append(m.Cells, c)
+	}
+	if _, err := Encode(m, 512); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestEncodeUnknownType(t *testing.T) {
+	if _, err := Encode(fakeMsg{}, testCellBytes); !errors.Is(err, ErrBadType) {
+		t.Fatalf("err = %v, want ErrBadType", err)
+	}
+}
+
+type fakeMsg struct{}
+
+func (fakeMsg) Type() MsgType    { return 99 }
+func (fakeMsg) WireSize(int) int { return 0 }
+
+func TestWireSizePaperCell(t *testing.T) {
+	// With paper parameters a cell costs 4 + 512 + 48 = 564 bytes framed.
+	if got := cellWire(512); got != 564 {
+		t.Fatalf("cellWire(512) = %d", got)
+	}
+	// A single-cell query is tiny (the "lightweight direct exchange").
+	q := &Query{Slot: 1, Cells: make([]blob.CellID, 1)}
+	if got := q.WireSize(512); got != OverheadIPUDP+1+8+4+4 {
+		t.Fatalf("query WireSize = %d", got)
+	}
+}
+
+func TestQuickQueryRoundTrip(t *testing.T) {
+	f := func(slot uint64, rows, cols []uint16) bool {
+		n := min(len(rows), len(cols))
+		m := &Query{Slot: slot}
+		for i := 0; i < n; i++ {
+			m.Cells = append(m.Cells, blob.CellID{Row: rows[i], Col: cols[i]})
+		}
+		data, err := Encode(m, testCellBytes)
+		if err != nil {
+			return errors.Is(err, ErrTooLarge) && len(m.Cells) > 16000
+		}
+		got, err := Decode(data, testCellBytes)
+		if err != nil {
+			return false
+		}
+		q := got.(*Query)
+		if q.Slot != slot || len(q.Cells) != n {
+			return false
+		}
+		for i := range q.Cells {
+			if q.Cells[i] != m.Cells[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifySeedSignatureFlow(t *testing.T) {
+	// The proposer signs the builder binding; nodes verify it on receipt.
+	// This test documents the signing flow end to end at the wire level.
+	proposer := ids.NewTestIdentity(10)
+	builder := ids.NewTestIdentity(11)
+	binding := SeedSigningBytes(42, builder.ID)
+	var sig [SigSize]byte
+	copy(sig[:], proposer.Sign(binding))
+	m := &Seed{Slot: 42, Builder: builder.ID, ProposerSig: sig}
+	if !ids.VerifyFrom(proposer.Public, SeedSigningBytes(m.Slot, m.Builder), m.ProposerSig[:]) {
+		t.Fatal("seed signature verification failed")
+	}
+	if ids.VerifyFrom(proposer.Public, SeedSigningBytes(43, m.Builder), m.ProposerSig[:]) {
+		t.Fatal("signature valid for wrong slot")
+	}
+}
+
+func BenchmarkEncodeResponse(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := &Response{Slot: 1}
+	for i := 0; i < 50; i++ {
+		m.Cells = append(m.Cells, randCell(rng))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(m, testCellBytes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeResponse(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	m := &Response{Slot: 1}
+	for i := 0; i < 50; i++ {
+		m.Cells = append(m.Cells, randCell(rng))
+	}
+	data, err := Encode(m, testCellBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data, testCellBytes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDecodeNeverPanicsOnRandomInput(t *testing.T) {
+	// Robustness: arbitrary datagrams from the network must never panic
+	// the decoder — they either parse or return an error.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		size := rng.Intn(2048)
+		buf := make([]byte, size)
+		rng.Read(buf)
+		if size > 0 {
+			buf[0] = byte(rng.Intn(5)) // bias toward valid type tags
+		}
+		_, _ = Decode(buf, testCellBytes)
+	}
+}
+
+func TestDecodeTruncationSweep(t *testing.T) {
+	// Every prefix of a valid message must decode cleanly or error —
+	// never panic, never return a half-parsed success.
+	rng := rand.New(rand.NewSource(100))
+	m := &Seed{Slot: 5, Builder: ids.NewTestIdentity(1).ID}
+	for i := 0; i < 6; i++ {
+		m.Cells = append(m.Cells, randCell(rng))
+	}
+	m.Boost = []BoostEntry{{Line: blob.Line{Kind: blob.Row, Index: 1}, HolderRef: 2, Start: 3, Count: 4}}
+	data, err := Encode(m, testCellBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if msg, err := Decode(data[:cut], testCellBytes); err == nil {
+			s, ok := msg.(*Seed)
+			if !ok || len(s.Cells) > len(m.Cells) {
+				t.Fatalf("cut %d produced inconsistent message", cut)
+			}
+		}
+	}
+}

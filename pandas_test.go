@@ -1,0 +1,96 @@
+package pandas
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPublicAPISimulatedSlot(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{
+		Core:     TestConfig(),
+		N:        80,
+		Seed:     1,
+		LossRate: 0.03,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.RunSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := res.DeadlineRate(AttestationDeadline); rate < 0.95 {
+		t.Fatalf("deadline rate %v", rate)
+	}
+}
+
+func TestPublicAPIConstants(t *testing.T) {
+	if SlotDuration != 12*time.Second || AttestationDeadline != 4*time.Second {
+		t.Fatal("consensus constants wrong")
+	}
+	cfg := DefaultConfig()
+	if cfg.Blob.N() != 512 || cfg.Samples != 73 || cfg.Redundancy != 8 {
+		t.Fatalf("default config drifted: %+v", cfg)
+	}
+	if cfg.Policy != PolicyRedundant {
+		t.Fatal("default policy should be redundant")
+	}
+}
+
+func TestPublicAPISamplingMath(t *testing.T) {
+	if b := SamplingFalsePositiveBound(512, 73); b >= 1e-9 {
+		t.Fatalf("bound = %g", b)
+	}
+	if s := SamplesForConfidence(512, 1e-9); s > 73 {
+		t.Fatalf("needed samples = %d", s)
+	}
+}
+
+func TestMeetsDeadline(t *testing.T) {
+	if !MeetsDeadline(3 * time.Second) {
+		t.Fatal("3s should meet the deadline")
+	}
+	if MeetsDeadline(5 * time.Second) {
+		t.Fatal("5s should miss")
+	}
+	if MeetsDeadline(-1) {
+		t.Fatal("never-completed should miss")
+	}
+}
+
+func TestPublicAPILatencyModel(t *testing.T) {
+	m := NewPlanetaryLatency(1, 100)
+	d := m.Delay(0, 1)
+	if d <= 0 || d > time.Second {
+		t.Fatalf("delay = %v", d)
+	}
+}
+
+func TestPublicAPILocalnet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time UDP test")
+	}
+	cfg := TestConfig()
+	cfg.Blob = BlobParams{K: 8, CellBytes: 64, ProofBytes: 48}
+	cfg.Assign.N = 16
+	cfg.Assign.Rows, cfg.Assign.Cols = 4, 4
+	cfg.Samples = 6
+	ln, err := NewLocalnet(cfg, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	times, err := ln.RunSlot(1, 8*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished := 0
+	for _, d := range times {
+		if d >= 0 {
+			finished++
+		}
+	}
+	if finished < len(times)-1 {
+		t.Fatalf("only %d of %d finished", finished, len(times))
+	}
+}
