@@ -39,13 +39,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("pandas-sim", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "", "experiment: fig9 fig10 table1 fig11 fig12 fig13 fig14 fig15a fig15b ablation validate confidence")
+		exp    = fs.String("exp", "", "experiment: fig9 fig10 table1 fig11 fig12 fig13 fig14 fig15a fig15b churn ablation validate confidence")
 		nodes  = fs.Int("nodes", 1000, "network size")
 		slots  = fs.Int("slots", 10, "slots to aggregate")
 		seed   = fs.Int64("seed", 1, "random seed")
 		small  = fs.Bool("small", false, "use the scaled-down 32x32 geometry (fast)")
 		sizes  = fs.String("sizes", "", "comma-separated sizes for fig13/fig14 (default paper sizes)")
 		fracs  = fs.String("fractions", "", "comma-separated fault fractions for fig15 (default 0,0.2,...,0.8)")
+		rates  = fs.String("rates", "", "comma-separated churn rates (departures/node/slot) for churn (default 0,0.05,0.1,0.2,0.4)")
 		list   = fs.Bool("list", false, "list experiments and exit")
 		csvDir = fs.String("csv", "", "also write sampling CDF CSVs into this directory (fig9/fig11/fig12)")
 		trials = fs.Int("trials", 20000, "Monte Carlo trials for confidence")
@@ -64,6 +65,7 @@ func run(args []string) error {
   fig14       system comparison across scales (Fig. 14)
   fig15a      dead-node sweep (Fig. 15a)
   fig15b      out-of-view sweep (Fig. 15b)
+  churn       dynamic membership: churn rate vs sampling-deadline success
   ablation    builder seeding-redundancy sweep (design knob, paper 9)
   validate    metadata vs real data plane cross-validation (8.2)
   confidence  sampling false-positive analysis (Section 3)`)
@@ -99,6 +101,12 @@ func run(args []string) error {
 		res, err = experiments.Fig15(o, experiments.FaultDead, parseFracs(*fracs))
 	case "fig15b":
 		res, err = experiments.Fig15(o, experiments.FaultOutOfView, parseFracs(*fracs))
+	case "churn":
+		rr, perr := parseRates(*rates)
+		if perr != nil {
+			return perr
+		}
+		res, err = experiments.Churn(o, rr)
 	case "validate":
 		res, err = experiments.Validate(o)
 	case "ablation":
@@ -172,6 +180,21 @@ func parseSizes(s string) []int {
 		}
 	}
 	return out
+}
+
+func parseRates(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("-rates: %q is not a non-negative number", strings.TrimSpace(part))
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseFracs(s string) []float64 {

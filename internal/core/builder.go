@@ -8,6 +8,7 @@ import (
 	"pandas/internal/blob"
 	"pandas/internal/ids"
 	"pandas/internal/kzg"
+	"pandas/internal/membership"
 	"pandas/internal/wire"
 )
 
@@ -44,8 +45,11 @@ type Builder struct {
 	// withholding attack). Nil means honest seeding.
 	withhold func(blob.CellID) bool
 
-	// inView restricts the builder's knowledge of nodes; nil = complete.
-	inView func(peer int) bool
+	// view restricts the builder's knowledge of nodes; nil = complete.
+	// Under churn this is the builder's BELIEVED membership: graceful
+	// leaves are announced and drop out, crashes are not and keep
+	// receiving (wasted) seed traffic.
+	view membership.View
 }
 
 // NewBuilder creates a builder bound to a transport address.
@@ -70,8 +74,9 @@ func (b *Builder) SetProposerSigner(sign func(slot uint64) [wire.SigSize]byte) {
 // it returns true are never sent. Pass nil for honest behaviour.
 func (b *Builder) SetWithholding(w func(blob.CellID) bool) { b.withhold = w }
 
-// SetView restricts which nodes the builder knows about.
-func (b *Builder) SetView(inView func(peer int) bool) { b.inView = inView }
+// SetView restricts which nodes the builder knows about. Pass nil to
+// restore the complete view.
+func (b *Builder) SetView(v membership.View) { b.view = v }
 
 // PrepareBlob loads real layer-2 data: extends it, commits, and computes
 // all cell proofs. Only needed in real-payload mode.
@@ -352,12 +357,12 @@ const maxBoostPerMsg = 4096
 // knownHolders filters a line's holders by the builder's view.
 func (b *Builder) knownHolders(l blob.Line) []int {
 	hs := b.table.Holders(l)
-	if b.inView == nil {
+	if b.view == nil {
 		return hs
 	}
 	out := make([]int, 0, len(hs))
 	for _, h := range hs {
-		if b.inView(h) {
+		if b.view.Contains(h) {
 			out = append(out, h)
 		}
 	}

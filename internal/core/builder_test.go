@@ -7,6 +7,7 @@ import (
 	"pandas/internal/assign"
 	"pandas/internal/blob"
 	"pandas/internal/ids"
+	"pandas/internal/membership"
 	"pandas/internal/wire"
 )
 
@@ -193,7 +194,7 @@ func TestBuilderWithholdingReport(t *testing.T) {
 func TestBuilderRestrictedView(t *testing.T) {
 	cfg := TestConfig()
 	b, _, tr := builderFixture(t, cfg, 80)
-	b.SetView(func(peer int) bool { return peer < 40 })
+	b.SetView(membership.ViewFunc(func(peer int) bool { return peer < 40 }))
 	report := b.SeedSlot(1)
 	if report.NodesSeeded == 0 {
 		t.Fatal("nothing seeded")

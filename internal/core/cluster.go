@@ -7,9 +7,11 @@ import (
 
 	"pandas/internal/assign"
 	"pandas/internal/consensus"
+	"pandas/internal/dht"
 	"pandas/internal/gossip"
 	"pandas/internal/ids"
 	"pandas/internal/latency"
+	"pandas/internal/membership"
 	"pandas/internal/simnet"
 	"pandas/internal/wire"
 )
@@ -45,6 +47,14 @@ type ClusterConfig struct {
 	// VerifySeeds enables proposer-signature verification at nodes
 	// (real-payload deployments).
 	VerifySeeds bool
+	// Churn enables dynamic membership: nodes join, leave, crash, and
+	// restart while slots run; per-node views evolve through gossip
+	// announcements and periodic DHT crawls; and peer-liveness scoring
+	// steers fetching away from departed peers. A nil or inactive config
+	// keeps the static deployment, bit-identical to the fixed-membership
+	// code path. Composes with OutOfViewFraction (restricted views churn)
+	// and DeadFraction (dead nodes are excluded from lifecycle events).
+	Churn *membership.Config
 }
 
 // NodeOutcome reports one node's slot, with durations relative to the
@@ -56,6 +66,15 @@ type NodeOutcome struct {
 	BlockRecv     time.Duration // only with BlockGossip
 	ConsFromSeed  time.Duration // consolidation measured from seeding
 	Dead          bool
+	// Offline marks nodes that were down when the slot started and never
+	// joined during it; their other fields are zero values.
+	Offline bool
+	// JoinedAt is the node's first mid-slot (re)join, relative to slot
+	// start (-1: none). Joiners start from an empty store and miss
+	// seeding, so they are measured as catch-up, not deadline success.
+	JoinedAt time.Duration
+	// LeftAt is the node's first departure after slot start (-1: none).
+	LeftAt time.Duration
 
 	FetchMsgs  int   // queries + responses, both directions
 	FetchBytes int64 // corresponding traffic volume
@@ -71,6 +90,9 @@ type SlotResult struct {
 	BuilderBytes int64
 	// Dropped counts messages lost in the network during the slot.
 	Dropped int
+	// Churn counts the lifecycle events that fired during this slot
+	// (zero without dynamic membership).
+	Churn membership.Stats
 }
 
 // Cluster is a simulated deployment.
@@ -88,6 +110,22 @@ type Cluster struct {
 	blockRecv []time.Duration
 	deadSet   map[int]bool
 	randao    *consensus.Randao
+
+	// Dynamic membership (nil/empty without ClusterConfig.Churn).
+	dir        *membership.Directory
+	engine     *membership.Engine
+	views      []*membership.LiveView
+	scorers    []*membership.Scorer
+	dhtPeers   []*dht.Peer
+	refreshers []*membership.Refresher
+	annOverlay *gossip.Overlay
+	annRouters []*gossip.Router
+	annSeq     uint64
+	curSlot    uint64
+	started    []bool
+	joinedAt   []time.Duration
+	leftAt     []time.Duration
+	churnPrev  membership.Stats
 }
 
 // simTransport adapts the simulator to the core Transport interface.
@@ -96,6 +134,7 @@ type simTransport struct {
 	self int
 }
 
+func (s simTransport) Self() int                      { return s.self }
 func (s simTransport) Send(to, size int, payload any) { s.net.Send(s.self, to, size, payload) }
 func (s simTransport) SendReliable(to, size int, payload any) {
 	s.net.SendReliable(s.self, to, size, payload)
@@ -202,15 +241,20 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 	}
 	// Fault injection: incomplete views. Each node knows a random
 	// (1 - f) subset of the network; the builder keeps its full view.
+	// Views are LiveViews rather than fixed predicates so that dynamic
+	// membership (below) can evolve the SAME view a node already has —
+	// the two fault models compose instead of overwriting each other.
 	if cc.OutOfViewFraction > 0 {
 		keep := cc.N - int(float64(cc.N)*cc.OutOfViewFraction)
+		c.views = make([]*membership.LiveView, cc.N)
 		for i := 0; i < cc.N; i++ {
-			visible := make(map[int]bool, keep)
-			visible[i] = true
+			v := membership.NewLiveView()
+			v.Add(i)
 			for _, p := range rng.Perm(cc.N)[:keep] {
-				visible[p] = true
+				v.Add(p)
 			}
-			c.nodes[i].SetView(func(peer int) bool { return visible[peer] })
+			c.views[i] = v
+			c.nodes[i].SetView(v)
 		}
 	}
 
@@ -226,14 +270,220 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 			c.routers[i] = gossip.NewRouter(i)
 		}
 	}
+
+	// Dynamic membership. Set up strictly AFTER every consumer of the main
+	// rng above, and from independent rand sources, so an inactive (or
+	// absent) churn config leaves the static deployment bit-identical.
+	if cc.Churn.Active() {
+		if err := c.setupChurn(cc); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
+// clusterBootstrapContacts is the sparse deterministic contact set each
+// node's DHT routing table starts from; crawls grow it from there.
+const clusterBootstrapContacts = 8
+
+// setupChurn wires the dynamic-membership subsystem: the lifecycle
+// engine, per-node evolving views, the announcement gossip mesh, the DHT
+// crawl refreshers, and peer-liveness scoring.
+func (c *Cluster) setupChurn(cc ClusterConfig) error {
+	n := cc.N
+	c.dir = membership.NewDirectory(n)
+	if c.views == nil {
+		c.views = make([]*membership.LiveView, n)
+		for i := range c.views {
+			c.views[i] = membership.FullLiveView(n)
+			c.nodes[i].SetView(c.views[i])
+		}
+	}
+	c.started = make([]bool, n)
+	c.joinedAt = make([]time.Duration, n)
+	c.leftAt = make([]time.Duration, n)
+
+	// Liveness scoring is enabled only under churn so the static fault
+	// sweeps (dead-node timeouts included) keep their exact behaviour.
+	c.scorers = make([]*membership.Scorer, n)
+	for i := range c.scorers {
+		c.scorers[i] = membership.NewScorer(cc.Churn.Scorer, c.net.Now)
+		c.nodes[i].SetLiveness(c.scorers[i])
+	}
+
+	// DHT substrate for view refresh: every node runs a Kademlia peer
+	// over the same simulated links as the protocol traffic.
+	entries := make([]dht.Entry, n)
+	for i := 0; i < n; i++ {
+		entries[i] = dht.Entry{ID: c.table.ID(i), Addr: i}
+	}
+	c.dhtPeers = make([]*dht.Peer, n)
+	for i := 0; i < n; i++ {
+		c.dhtPeers[i] = dht.NewPeer(entries[i], simTransport{net: c.net, self: i}, 0)
+		for j := 1; j <= clusterBootstrapContacts && j < n; j++ {
+			c.dhtPeers[i].Bootstrap([]dht.Entry{entries[(i+j*13)%n]})
+		}
+	}
+	interval := cc.Churn.RefreshInterval
+	if interval == 0 {
+		interval = membership.DefaultRefreshInterval
+	}
+	c.refreshers = make([]*membership.Refresher, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.refreshers[i] = membership.NewRefresher(
+			c.dhtPeers[i], c.views[i], c.net,
+			cc.Churn.RefreshInterval, cc.Churn.RefreshFanout,
+			cc.Seed^int64(i)*7919,
+			func() bool { return c.dir.Online(i) })
+		if interval > 0 {
+			// Stagger crawl starts across one interval so the network is
+			// not hit by synchronized lookups.
+			c.refreshers[i].Start(interval * time.Duration(i) / time.Duration(n))
+		}
+	}
+
+	// Join/leave announcements ride their own gossip mesh with their own
+	// routers: unlike block routers these are NEVER reset per slot —
+	// membership state outlives slot boundaries.
+	annRng := rand.New(rand.NewSource(cc.Seed ^ 0x616e6e))
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	c.annOverlay = gossip.NewOverlay(annRng, members, gossip.DefaultDegree)
+	c.annRouters = make([]*gossip.Router, n)
+	for i := range c.annRouters {
+		c.annRouters[i] = gossip.NewRouter(i)
+	}
+
+	churnRng := rand.New(rand.NewSource(cc.Seed ^ 0x6368726e))
+	c.engine = membership.NewEngine(*cc.Churn, c.net, churnRng, n, membership.Hooks{
+		OnJoin:  c.onChurnJoin,
+		OnLeave: c.onChurnLeave,
+	})
+	// DeadFraction nodes belong to the fault model, not the churn model:
+	// they stay dead forever and never emit lifecycle events.
+	for i := range c.deadSet {
+		c.engine.Exclude(i)
+	}
+	c.engine.Start()
+
+	// Nodes drawn initially offline have never been online: the builder
+	// does not know them, peers' views exclude them, and the simulator
+	// treats them as absent until their join fires.
+	for i := 0; i < n; i++ {
+		if c.engine.Online(i) {
+			continue
+		}
+		c.dir.SetOnline(i, false)
+		c.dir.SetBelieved(i, false)
+		if err := c.net.SetDead(i, true); err != nil {
+			return err
+		}
+		for j := 0; j < n; j++ {
+			if j != i {
+				c.views[j].Remove(i)
+			}
+		}
+	}
+	// The builder seeds its BELIEVED membership: graceful leavers are
+	// announced and drop out of it; crashed nodes stay believed-online
+	// and keep receiving (wasted) seed traffic until they return.
+	c.builder.SetView(membership.ViewFunc(c.dir.Believed))
+	return nil
+}
+
+// annMsg is one join/leave announcement frame on the membership mesh.
+type annMsg struct {
+	id  gossip.MsgID
+	ann membership.Announcement
+}
+
+// publishAnnouncement floods a membership change from the subject node.
+func (c *Cluster) publishAnnouncement(node int, join bool) {
+	c.annSeq++
+	m := annMsg{
+		id:  gossip.MsgID(c.annSeq),
+		ann: membership.Announcement{Seq: c.annSeq, Node: node, Join: join},
+	}
+	for _, peer := range c.annRouters[node].Publish(c.annOverlay, m.id) {
+		c.net.Send(node, peer, membership.AnnouncementWireSize, m)
+	}
+}
+
+func (c *Cluster) onAnnouncement(node, from, size int, m annMsg) {
+	fwd, isNew := c.annRouters[node].Receive(c.annOverlay, m.id, from)
+	if !isNew {
+		return
+	}
+	if m.ann.Node != node {
+		if m.ann.Join {
+			c.views[node].Add(m.ann.Node)
+		} else {
+			c.views[node].Remove(m.ann.Node)
+		}
+	}
+	for _, peer := range fwd {
+		c.net.Send(node, peer, size, m)
+	}
+}
+
+// onChurnJoin brings a node online mid-run: fresh joiners and restarting
+// crashers alike start the current slot from an empty store and announce
+// themselves, and a catch-up crawl rebuilds their possibly stale view.
+func (c *Cluster) onChurnJoin(node int, restart bool) {
+	_ = restart
+	if err := c.net.SetDead(node, false); err != nil {
+		return
+	}
+	c.dir.SetOnline(node, true)
+	c.dir.SetBelieved(node, true)
+	if c.joinedAt[node] < 0 {
+		c.joinedAt[node] = c.net.Now()
+	}
+	c.views[node].Add(node)
+	c.nodes[node].JoinSlot(c.curSlot)
+	c.started[node] = true
+	c.publishAnnouncement(node, true)
+	c.refreshers[node].RefreshNow()
+}
+
+// onChurnLeave takes a node offline. Graceful leavers announce their
+// departure first, so peers prune them; crashers vanish silently and
+// stay in every view — only liveness backoff steers traffic off them.
+func (c *Cluster) onChurnLeave(node int, crash bool) {
+	if c.leftAt[node] < 0 {
+		c.leftAt[node] = c.net.Now()
+	}
+	if !crash {
+		c.publishAnnouncement(node, false)
+		c.dir.SetBelieved(node, false)
+	}
+	c.dir.SetOnline(node, false)
+	_ = c.net.SetDead(node, true)
+}
+
 // dispatch routes payloads at a node: PANDAS protocol messages to the
-// Node, gossip frames to the block router.
+// Node, gossip frames to the block router, announcements to the
+// membership mesh, DHT RPCs to the node's Kademlia peer.
 func (c *Cluster) dispatch(node, from, size int, payload any) {
 	if id, ok := payload.(gossip.MsgID); ok {
 		c.onBlockGossip(node, from, size, id)
+		return
+	}
+	if m, ok := payload.(annMsg); ok {
+		c.onAnnouncement(node, from, size, m)
+		return
+	}
+	if c.dhtPeers != nil && c.dhtPeers[node].HandleMessage(from, payload) {
+		if from >= 0 && from < len(c.nodes) {
+			// Any DHT exchange teaches the recipient the sender's record,
+			// as real Kademlia contact handling does — this is what lets
+			// a joiner's presence spread into routing tables and from
+			// there into crawled views.
+			c.dhtPeers[node].Table().Add(dht.Entry{ID: c.table.ID(from), Addr: from})
+		}
 		return
 	}
 	c.nodes[node].HandleMessage(from, size, payload)
@@ -267,6 +517,13 @@ func (c *Cluster) Nodes() []*Node { return c.nodes }
 // Network exposes the simulator (for custom drivers).
 func (c *Cluster) Network() *simnet.Network { return c.net }
 
+// Engine exposes the churn engine (nil without dynamic membership).
+func (c *Cluster) Engine() *membership.Engine { return c.engine }
+
+// Directory exposes the online/believed membership directory (nil
+// without dynamic membership).
+func (c *Cluster) Directory() *membership.Directory { return c.dir }
+
 // RunSlot simulates one full slot: the proposer selects the builder at
 // slot start, the builder seeds, nodes consolidate and sample. The
 // simulation runs for a full 12 s slot so that stragglers past the 4 s
@@ -274,9 +531,20 @@ func (c *Cluster) Network() *simnet.Network { return c.net }
 func (c *Cluster) RunSlot(slot uint64) (*SlotResult, error) {
 	start := c.net.Now()
 	droppedBefore := c.net.Dropped()
+	c.curSlot = slot
 	for i, n := range c.nodes {
-		n.StartSlot(slot)
 		c.blockRecv[i] = -1
+		if c.dir != nil {
+			c.joinedAt[i] = -1
+			c.leftAt[i] = -1
+			c.started[i] = c.dir.Online(i)
+			if !c.started[i] {
+				// Offline at slot start: the node joins the slot mid-way
+				// if and when its join event fires.
+				continue
+			}
+		}
+		n.StartSlot(slot)
 	}
 	if c.routers != nil {
 		for _, r := range c.routers {
@@ -306,20 +574,44 @@ func (c *Cluster) RunSlot(slot uint64) (*SlotResult, error) {
 
 	res := &SlotResult{Seeding: report, Dropped: c.net.Dropped() - droppedBefore}
 	res.BuilderBytes = c.net.Stats(c.bIndex).BytesSent
+	if c.engine != nil {
+		st := c.engine.Stats()
+		res.Churn = st.Minus(c.churnPrev)
+		c.churnPrev = st
+	}
 	res.Outcomes = make([]NodeOutcome, len(c.nodes))
 	for i, n := range c.nodes {
-		m := n.Metrics
 		o := NodeOutcome{
 			Seed:          -1,
 			Consolidation: -1,
 			Sampling:      -1,
 			BlockRecv:     -1,
 			ConsFromSeed:  -1,
+			JoinedAt:      -1,
+			LeftAt:        -1,
 			Dead:          c.deadSet[i],
-			FetchMsgs:     m.FetchMsgsSent + m.FetchMsgsRecv,
-			FetchBytes:    m.FetchBytesSent + m.FetchBytesRecv,
-			Rounds:        m.Rounds,
 		}
+		if c.dir != nil {
+			o.Offline = !c.started[i]
+			if c.joinedAt[i] >= 0 {
+				o.JoinedAt = c.joinedAt[i] - start
+			}
+			if c.leftAt[i] >= 0 {
+				o.LeftAt = c.leftAt[i] - start
+			}
+		}
+		if o.Offline {
+			// The node never ran this slot; its Metrics are stale
+			// leftovers from its last active slot.
+			o.SampleVote = consensus.Attest(consensus.TightForkChoice,
+				consensus.AttestationInput{SlotStart: time.Unix(0, 0)})
+			res.Outcomes[i] = o
+			continue
+		}
+		m := n.Metrics
+		o.FetchMsgs = m.FetchMsgsSent + m.FetchMsgsRecv
+		o.FetchBytes = m.FetchBytesSent + m.FetchBytesRecv
+		o.Rounds = m.Rounds
 		if m.HasSeed {
 			// "Time to seeding" is the arrival of the node's initial seed
 			// data (the paper's Fig. 9a metric).
@@ -358,12 +650,25 @@ func (c *Cluster) RunSlot(slot uint64) (*SlotResult, error) {
 	return res, nil
 }
 
-// DeadlineRate returns the fraction of LIVE nodes that completed sampling
-// within the deadline.
+// EligibleAt reports whether the node counts toward the deadline-success
+// denominator: it must have been up when the slot started (so seeding
+// could reach it) and still be up at the deadline. Mid-slot joiners are
+// excluded — they miss seeding by construction and are measured as
+// catch-up instead (JoinerCatchUp).
+func (o NodeOutcome) EligibleAt(deadline time.Duration) bool {
+	if o.Dead || o.Offline || o.JoinedAt >= 0 {
+		return false
+	}
+	return o.LeftAt < 0 || o.LeftAt > deadline
+}
+
+// DeadlineRate returns the fraction of eligible nodes that completed
+// sampling within the deadline. Without churn every live node is
+// eligible, which reduces to the paper's Fig. 15 metric.
 func (r *SlotResult) DeadlineRate(deadline time.Duration) float64 {
 	live, ok := 0, 0
 	for _, o := range r.Outcomes {
-		if o.Dead {
+		if !o.EligibleAt(deadline) {
 			continue
 		}
 		live++
@@ -375,6 +680,22 @@ func (r *SlotResult) DeadlineRate(deadline time.Duration) float64 {
 		return 0
 	}
 	return float64(ok) / float64(live)
+}
+
+// JoinerCatchUp reports how mid-slot joiners fared: the number that
+// joined and, of those, the number that still completed sampling before
+// the slot ended (from an empty store, without seeding).
+func (r *SlotResult) JoinerCatchUp() (joined, sampled int) {
+	for _, o := range r.Outcomes {
+		if o.JoinedAt < 0 {
+			continue
+		}
+		joined++
+		if o.Sampling >= 0 {
+			sampled++
+		}
+	}
+	return joined, sampled
 }
 
 // CommitteeDecision samples a consensus committee for the slot and

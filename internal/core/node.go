@@ -9,8 +9,21 @@ import (
 	"pandas/internal/blob"
 	"pandas/internal/fetch"
 	"pandas/internal/ids"
+	"pandas/internal/membership"
 	"pandas/internal/wire"
 )
+
+// LivenessRecorder is the node-side contract of peer-liveness scoring:
+// the fetcher reports per-peer query outcomes and consults queryability
+// and penalties when scoring candidates. Implemented by
+// membership.Scorer.
+type LivenessRecorder interface {
+	fetch.Liveness
+	// ReportTimeout records that a query to the peer expired unanswered.
+	ReportTimeout(peer int)
+	// ReportSuccess records a response from the peer.
+	ReportSuccess(peer int)
+}
 
 // RoundStat captures the fetching progress of one node during one round,
 // the quantities reported in Table 1 of the paper.
@@ -86,9 +99,13 @@ type Node struct {
 	tr    Transport
 	rng   *rand.Rand
 
-	// inView reports whether a peer is in this node's (possibly
-	// incomplete) view; nil means the full view.
-	inView func(peer int) bool
+	// view reports whether a peer is in this node's (possibly incomplete
+	// and possibly evolving) view; nil means the full view.
+	view membership.View
+
+	// liveness scores peer responsiveness; nil disables scoring (the
+	// static-membership configuration).
+	liveness LivenessRecorder
 
 	// verifySeeds enables proposer-signature checks on seed messages.
 	verifySeeds bool
@@ -132,6 +149,14 @@ type Node struct {
 	// fetch and are preferred when choosing which missing cells to
 	// request.
 	cbSeeded map[blob.Line]map[int]bool
+	// awaitReply tracks, per queried peer, the deadline by which SOME
+	// response must arrive before the peer is reported to the liveness
+	// scorer as timed out. Only maintained when liveness is set.
+	awaitReply map[int]time.Duration
+	// gen invalidates timers armed for an earlier lifetime of this node:
+	// it increments on every StartSlot, so a node that crashes and
+	// restarts within the same slot does not execute stale callbacks.
+	gen uint64
 
 	// Metrics for the current slot.
 	Metrics NodeMetrics
@@ -149,9 +174,18 @@ func NewNode(cfg Config, index int, table *Table, tr Transport, rngSeed int64) *
 	}
 }
 
-// SetView restricts the node's knowledge of the network. Passing nil
-// restores the complete view.
-func (n *Node) SetView(inView func(peer int) bool) { n.inView = inView }
+// SetView restricts the node's knowledge of the network. Views may be
+// static predicates (membership.ViewFunc) or evolve while the slot runs
+// (membership.LiveView). Passing nil restores the complete view.
+func (n *Node) SetView(v membership.View) { n.view = v }
+
+// View returns the node's current view (nil means complete).
+func (n *Node) View() membership.View { return n.view }
+
+// SetLiveness installs peer-liveness scoring: query timeouts demote
+// peers and the fetch planner skips demoted ones. Passing nil disables
+// scoring.
+func (n *Node) SetLiveness(l LivenessRecorder) { n.liveness = l }
 
 // SetSeedVerification enables proposer-signature verification of seeding
 // messages against the given proposer public key.
@@ -162,6 +196,20 @@ func (n *Node) SetSeedVerification(pub ed25519.PublicKey) {
 
 // Index returns the node's transport address.
 func (n *Node) Index() int { return n.index }
+
+// afterGuarded schedules fn but drops it if the node has since been
+// restarted (StartSlot increments gen). Slot-number checks alone cannot
+// catch a crash+restart WITHIN one slot, and they also let a timer armed
+// near the end of slot s leak into slot s when the counter wraps around
+// a multi-slot run; the generation counter closes both holes.
+func (n *Node) afterGuarded(d time.Duration, fn func()) {
+	g := n.gen
+	n.tr.After(d, func() {
+		if n.gen == g {
+			fn()
+		}
+	})
+}
 
 // Transport returns the node's transport (for callers that need its
 // clock, e.g. converting completion times across endpoints).
@@ -180,6 +228,7 @@ func (n *Node) Samples() []blob.CellID { return n.samples }
 // timer (3x SeedWait) fires.
 func (n *Node) StartSlot(slot uint64) {
 	n.slot = slot
+	n.gen++
 	a := n.table.Assignment(n.index)
 	n.store = NewStore(n.cfg.Blob, a, n.cfg.RealPayloads, n.verifySeeds)
 	n.samples = n.drawSamples()
@@ -205,17 +254,25 @@ func (n *Node) StartSlot(slot uint64) {
 	n.cbSeeded = make(map[blob.Line]map[int]bool)
 	n.pendingOut = make(map[int][]wire.Cell)
 	n.flushArmed = false
+	n.awaitReply = make(map[int]time.Duration)
 	n.Metrics = NodeMetrics{}
 
 	// Fallback: a node the builder does not know never receives seeds and
 	// may never be queried; it still must sample.
-	slotNow := slot
-	n.tr.After(3*n.cfg.SeedWait, func() {
-		if n.slot == slotNow && !n.Metrics.HasSeed && !n.fetching && !n.done() {
+	n.afterGuarded(3*n.cfg.SeedWait, func() {
+		if !n.Metrics.HasSeed && !n.fetching && !n.done() {
 			n.startFetch()
 		}
 	})
 }
+
+// JoinSlot brings a node online partway through a slot: a joiner (or a
+// restarting crasher) starts from an empty store — whatever it held
+// before going down is gone — and must fetch everything it needs from
+// peers. Seeding has typically already passed it by, so the StartSlot
+// fallback timer is what kicks off its fetch unless a custody query or a
+// straggling seed datagram arrives first.
+func (n *Node) JoinSlot(slot uint64) { n.StartSlot(slot) }
 
 // drawSamples picks Samples distinct random cells, unpredictable to
 // other participants (unlike the custody assignment).
@@ -280,9 +337,8 @@ func (n *Node) onSeed(m *wire.Seed) {
 	// SeedAt doubles as the generation marker, so only the timer armed by
 	// the LAST chunk received fires the fetch.
 	generation := now
-	slotNow := n.slot
-	n.tr.After(n.cfg.SeedWait, func() {
-		if n.slot != slotNow || n.Metrics.SeedAt != generation {
+	n.afterGuarded(n.cfg.SeedWait, func() {
+		if n.Metrics.SeedAt != generation {
 			return
 		}
 		// Seed flow went quiet without completing: any promised cells
@@ -366,9 +422,8 @@ func (n *Node) onQuery(from int, m *wire.Query) {
 	// paper's Table 1 dynamics).
 	if !n.Metrics.HasSeed && !n.fetching && !n.seedTimer {
 		n.seedTimer = true
-		slotNow := n.slot
-		n.tr.After(3*n.cfg.SeedWait, func() {
-			if n.slot == slotNow && !n.Metrics.HasSeed && !n.fetching && !n.done() {
+		n.afterGuarded(3*n.cfg.SeedWait, func() {
+			if !n.Metrics.HasSeed && !n.fetching && !n.done() {
 				n.startFetch()
 			}
 		})
@@ -378,6 +433,12 @@ func (n *Node) onQuery(from int, m *wire.Query) {
 func (n *Node) onResponse(from int, m *wire.Response) {
 	if m.Slot != n.slot || n.store == nil {
 		return
+	}
+	// Any response — even an empty or partial one — proves the peer is
+	// alive and re-arms it with the liveness scorer.
+	delete(n.awaitReply, from)
+	if n.liveness != nil {
+		n.liveness.ReportSuccess(from)
 	}
 	// Attribute the reply to the round in which the peer was queried.
 	if r, ok := n.queryRound[from]; ok && r >= 1 && r <= len(n.roundEnds) {
@@ -452,11 +513,7 @@ func (n *Node) armFlush() {
 		return
 	}
 	n.flushArmed = true
-	slotNow := n.slot
-	n.tr.After(flushDelay, func() {
-		if n.slot != slotNow {
-			return
-		}
+	n.afterGuarded(flushDelay, func() {
 		n.flushArmed = false
 		recipients := make([]int, 0, len(n.pendingOut))
 		for to := range n.pendingOut {
@@ -651,6 +708,19 @@ func (n *Node) runRound() {
 		return
 	}
 	n.round++
+	// Sweep expired reply deadlines: a peer queried more than inflightTTL
+	// ago with no response of any kind is reported to the liveness scorer,
+	// which puts it into exponential backoff (and re-arms it later via the
+	// queryable-set sweep below).
+	if n.liveness != nil {
+		now := n.tr.Now()
+		for peer, deadline := range n.awaitReply {
+			if now >= deadline {
+				delete(n.awaitReply, peer)
+				n.liveness.ReportTimeout(peer)
+			}
+		}
+	}
 	if len(F) == 0 {
 		n.updateCompletion()
 		n.fetching = false
@@ -681,6 +751,11 @@ func (n *Node) runRound() {
 		peer := q.Peer
 		n.queried[peer] = true
 		n.queryRound[peer] = n.round
+		if n.liveness != nil {
+			if _, waiting := n.awaitReply[peer]; !waiting {
+				n.awaitReply[peer] = n.tr.Now() + inflightTTL
+			}
+		}
 		cells := make([]blob.CellID, len(q.Cells))
 		for i, idx := range q.Cells {
 			cells[i] = F[idx]
@@ -703,7 +778,7 @@ func (n *Node) runRound() {
 	timeout := n.cfg.Schedule.Timeout(n.round)
 	n.Metrics.Rounds = append(n.Metrics.Rounds, stat)
 	n.roundEnds = append(n.roundEnds, n.tr.Now()+timeout)
-	n.tr.After(timeout, n.runRound)
+	n.afterGuarded(timeout, n.runRound)
 }
 
 // planRound builds scored candidates over the holders of every line that
@@ -729,7 +804,7 @@ func (n *Node) planRound(F []blob.CellID) []fetch.Query {
 			if peer == n.index || n.queried[peer] {
 				continue
 			}
-			if n.inView != nil && !n.inView(peer) {
+			if n.view != nil && !n.view.Contains(peer) {
 				continue
 			}
 			scores[peer] += len(cells)
@@ -769,6 +844,9 @@ func (n *Node) planRound(F []blob.CellID) []fetch.Query {
 	}
 	// Deterministic candidate order under equal scores.
 	sortScoredByPeer(scored)
+	if n.liveness != nil {
+		scored = fetch.ApplyLiveness(scored, n.liveness)
+	}
 
 	// Sample cells have no CB entries; boosted peers may still cover
 	// them through their assignments.

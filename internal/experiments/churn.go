@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pandas/internal/consensus"
+	"pandas/internal/core"
+	"pandas/internal/membership"
+	"pandas/internal/metrics"
+)
+
+// DefaultChurnRates is the sweep of expected per-node departures per
+// slot. Rate 0 is the static-membership control (it runs the unmodified
+// fixed-membership code path, so it must match Fig. 15 at fraction 0).
+var DefaultChurnRates = []float64{0, 0.05, 0.1, 0.2, 0.4}
+
+// ChurnPoint is one churn-rate sweep point.
+type ChurnPoint struct {
+	// Rate is the expected number of departures per node per slot.
+	Rate float64
+	// Sampling pools eligible nodes' sampling-completion times.
+	Sampling *metrics.Distribution
+	// DeadlineRate is the fraction of eligible nodes (up at slot start,
+	// still up at the deadline) that sampled on time.
+	DeadlineRate float64
+	// Eligible counts node-slots in the deadline denominator.
+	Eligible int
+	// Joined counts mid-slot joiners; CaughtUp of them still completed
+	// sampling before their first slot ended (empty store, no seeding).
+	Joined, CaughtUp int
+	// Events totals the lifecycle events over the run.
+	Events membership.Stats
+}
+
+// ChurnResult holds a dynamic-membership sweep.
+type ChurnResult struct {
+	Options Options
+	Rates   []float64
+	Points  []ChurnPoint
+}
+
+// churnConfigForRate translates a per-slot departure rate into engine
+// parameters: exponential sessions with the matching mean, ~one slot of
+// downtime before a restart, and an even split between graceful leaves
+// and silent crashes.
+func churnConfigForRate(rate float64) *membership.Config {
+	if rate <= 0 {
+		return nil // static membership: the untouched fixed-view path
+	}
+	return &membership.Config{
+		MeanSession:   time.Duration(float64(consensus.SlotDuration) / rate),
+		MeanDowntime:  consensus.SlotDuration,
+		CrashFraction: 0.5,
+	}
+}
+
+// Churn sweeps the dynamic-membership engine: for each churn rate it
+// runs the usual multi-slot deployment while nodes join, leave, crash,
+// and restart mid-slot, and reports sampling-deadline success over the
+// nodes that were actually present for the whole deadline window.
+func Churn(o Options, rates []float64) (*ChurnResult, error) {
+	o = o.withDefaults()
+	if len(rates) == 0 {
+		rates = DefaultChurnRates
+	}
+	res := &ChurnResult{Options: o, Rates: rates}
+	for _, rate := range rates {
+		rate := rate
+		c, err := newCluster(o, func(cc *core.ClusterConfig) {
+			cc.Core.Policy = core.PolicyRedundant
+			cc.Churn = churnConfigForRate(rate)
+		})
+		if err != nil {
+			return nil, err
+		}
+		point := ChurnPoint{Rate: rate}
+		var samp []time.Duration
+		onTime := 0
+		for s := 1; s <= o.Slots; s++ {
+			slot, err := c.RunSlot(uint64(s))
+			if err != nil {
+				return nil, fmt.Errorf("rate %.2f slot %d: %w", rate, s, err)
+			}
+			point.Events.Joins += slot.Churn.Joins
+			point.Events.Restarts += slot.Churn.Restarts
+			point.Events.Leaves += slot.Churn.Leaves
+			point.Events.Crashes += slot.Churn.Crashes
+			j, cu := slot.JoinerCatchUp()
+			point.Joined += j
+			point.CaughtUp += cu
+			for _, out := range slot.Outcomes {
+				if !out.EligibleAt(o.Core.Deadline) {
+					continue
+				}
+				point.Eligible++
+				samp = append(samp, out.Sampling)
+				if out.Sampling >= 0 && out.Sampling <= o.Core.Deadline {
+					onTime++
+				}
+			}
+		}
+		point.Sampling = metrics.NewDistribution(samp)
+		if point.Eligible > 0 {
+			point.DeadlineRate = float64(onTime) / float64(point.Eligible)
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+// Render prints churn-rate sweep rows.
+func (r *ChurnResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Churn sweep — departures per node per slot, %d nodes, %d slots\n",
+		r.Options.Nodes, r.Options.Slots)
+	tab := metrics.NewTable("rate", "events J/R/L/C", "eligible",
+		"sample median", "sample P99", "on-time%", "joiner catch-up")
+	for _, p := range r.Points {
+		catchUp := "-"
+		if p.Joined > 0 {
+			catchUp = fmt.Sprintf("%d/%d (%.0f%%)", p.CaughtUp, p.Joined,
+				100*float64(p.CaughtUp)/float64(p.Joined))
+		}
+		tab.AddRow(fmt.Sprintf("%.2f", p.Rate),
+			fmt.Sprintf("%d/%d/%d/%d", p.Events.Joins, p.Events.Restarts,
+				p.Events.Leaves, p.Events.Crashes),
+			fmt.Sprintf("%d", p.Eligible),
+			fmtMs(p.Sampling.Median()), fmtMs(p.Sampling.Percentile(99)),
+			fmt.Sprintf("%.1f", 100*p.DeadlineRate),
+			catchUp)
+	}
+	b.WriteString(tab.String())
+	return b.String()
+}

@@ -193,6 +193,45 @@ type Scored struct {
 	Score int
 }
 
+// Liveness supplies peer-quality knowledge to the scoring step. Under
+// dynamic membership a node's view contains peers that have already
+// departed (crashes are never announced and crawls re-surface stale
+// entries); Liveness is how the fetcher avoids burning round budget on
+// them. Implemented by membership.Scorer.
+type Liveness interface {
+	// Queryable reports whether the peer may be queried now; false while
+	// the peer sits in timeout backoff.
+	Queryable(peer int) bool
+	// Penalty returns a score deduction for the peer — zero for healthy
+	// peers, growing with recorded failures for flaky ones.
+	Penalty(peer int) int
+}
+
+// ApplyLiveness folds liveness knowledge into scored candidates: peers
+// in backoff are dropped entirely, and re-armed peers with a failure
+// history are demoted by their penalty (floored at score 1 so they stay
+// eligible as a last resort). The slice is filtered in place. A nil
+// liveness returns the input unchanged.
+func ApplyLiveness(scored []Scored, l Liveness) []Scored {
+	if l == nil {
+		return scored
+	}
+	out := scored[:0]
+	for _, s := range scored {
+		if !l.Queryable(s.Peer) {
+			continue
+		}
+		if p := l.Penalty(s.Peer); p > 0 {
+			s.Score -= p
+			if s.Score < 1 {
+				s.Score = 1
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
 // PlanLazy is the allocation-frugal equivalent of Plan used by the
 // simulator at large scales: candidate cell lists are materialized only
 // for peers actually considered, via the cellsOf callback. cellsOf must

@@ -1,0 +1,222 @@
+package membership
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+type eventLog struct {
+	joins, restarts, leaves, crashes []int
+}
+
+func hooksFor(log *eventLog) Hooks {
+	return Hooks{
+		OnJoin: func(node int, restart bool) {
+			if restart {
+				log.restarts = append(log.restarts, node)
+			} else {
+				log.joins = append(log.joins, node)
+			}
+		},
+		OnLeave: func(node int, crash bool) {
+			if crash {
+				log.crashes = append(log.crashes, node)
+			} else {
+				log.leaves = append(log.leaves, node)
+			}
+		},
+	}
+}
+
+func TestConfigActive(t *testing.T) {
+	var nilCfg *Config
+	if nilCfg.Active() {
+		t.Fatal("nil config active")
+	}
+	if (&Config{}).Active() {
+		t.Fatal("zero config active")
+	}
+	for _, c := range []*Config{
+		{MeanSession: time.Second},
+		{JoinRate: 0.1},
+		{InitialOfflineFraction: 0.2},
+		{Flash: []FlashEvent{{At: time.Second, Join: 1}}},
+	} {
+		if !c.Active() {
+			t.Fatalf("config %+v should be active", c)
+		}
+	}
+	// A refresh-only config produces no dynamics.
+	if (&Config{RefreshInterval: time.Second}).Active() {
+		t.Fatal("refresh-only config active")
+	}
+}
+
+func TestEngineSessionsAndRestarts(t *testing.T) {
+	clk := &engineClock{}
+	log := &eventLog{}
+	e := NewEngine(Config{
+		MeanSession:   2 * time.Second,
+		MeanDowntime:  time.Second,
+		CrashFraction: 0.5,
+	}, clk, rand.New(rand.NewSource(42)), 50, hooksFor(log))
+	e.Start()
+	clk.run(60 * time.Second)
+
+	departures := len(log.leaves) + len(log.crashes)
+	if departures == 0 {
+		t.Fatal("no departures over 60s with 2s mean sessions")
+	}
+	if len(log.crashes) == 0 || len(log.leaves) == 0 {
+		t.Fatalf("crash/graceful split degenerate: %d crashes, %d leaves",
+			len(log.crashes), len(log.leaves))
+	}
+	if len(log.restarts) == 0 {
+		t.Fatal("no restarts despite MeanDowntime")
+	}
+	st := e.Stats()
+	if st.Leaves != len(log.leaves) || st.Crashes != len(log.crashes) || st.Restarts != len(log.restarts) {
+		t.Fatalf("stats %+v disagree with hook log", st)
+	}
+	// Online/offline bookkeeping must be consistent.
+	online := 0
+	for i := 0; i < 50; i++ {
+		if e.Online(i) {
+			online++
+		}
+	}
+	if online != e.OnlineCount() {
+		t.Fatalf("Online() count %d != OnlineCount %d", online, e.OnlineCount())
+	}
+}
+
+func TestEnginePoissonJoinsDrainPool(t *testing.T) {
+	clk := &engineClock{}
+	log := &eventLog{}
+	e := NewEngine(Config{
+		InitialOfflineFraction: 0.4,
+		JoinRate:               1.0, // one join/sec on average
+	}, clk, rand.New(rand.NewSource(7)), 20, hooksFor(log))
+	e.Start()
+	if e.OnlineCount() != 12 {
+		t.Fatalf("initial online %d, want 12", e.OnlineCount())
+	}
+	clk.run(120 * time.Second)
+	if len(log.joins) != 8 {
+		t.Fatalf("pool joins %d, want all 8", len(log.joins))
+	}
+	if e.OnlineCount() != 20 {
+		t.Fatalf("final online %d, want 20", e.OnlineCount())
+	}
+	if e.Stats().Joins != 8 {
+		t.Fatalf("stats joins %d", e.Stats().Joins)
+	}
+}
+
+func TestEngineFlashEvents(t *testing.T) {
+	clk := &engineClock{}
+	log := &eventLog{}
+	e := NewEngine(Config{
+		InitialOfflineFraction: 0.5,
+		Flash: []FlashEvent{
+			{At: time.Second, Join: 5},
+			{At: 2 * time.Second, Leave: 3, Crash: true},
+		},
+	}, clk, rand.New(rand.NewSource(3)), 40, hooksFor(log))
+	e.Start()
+	clk.run(500 * time.Millisecond)
+	if len(log.joins) != 0 {
+		t.Fatal("flash fired early")
+	}
+	clk.run(1500 * time.Millisecond)
+	if len(log.joins) != 5 {
+		t.Fatalf("flash crowd joined %d, want 5", len(log.joins))
+	}
+	clk.run(3 * time.Second)
+	if len(log.crashes) != 3 || len(log.leaves) != 0 {
+		t.Fatalf("flash exit: %d crashes %d leaves, want 3 crashes", len(log.crashes), len(log.leaves))
+	}
+	if e.OnlineCount() != 20+5-3 {
+		t.Fatalf("online %d after flashes", e.OnlineCount())
+	}
+}
+
+func TestEngineFlashJoinFallsBackToRestarts(t *testing.T) {
+	clk := &engineClock{}
+	log := &eventLog{}
+	// Empty pool: a flash crash at 1s, then a flash join at 2s must bring
+	// the crashed node back as a RESTART.
+	e := NewEngine(Config{
+		Flash: []FlashEvent{
+			{At: time.Second, Leave: 1, Crash: true},
+			{At: 2 * time.Second, Join: 1},
+		},
+	}, clk, rand.New(rand.NewSource(5)), 10, hooksFor(log))
+	e.Start()
+	clk.run(3 * time.Second)
+	if len(log.crashes) != 1 || len(log.restarts) != 1 {
+		t.Fatalf("crashes=%d restarts=%d", len(log.crashes), len(log.restarts))
+	}
+	if log.crashes[0] != log.restarts[0] {
+		t.Fatal("restart resurrected a different node than the crash took down")
+	}
+	if e.OnlineCount() != 10 {
+		t.Fatalf("online %d, want 10", e.OnlineCount())
+	}
+}
+
+func TestEngineExclude(t *testing.T) {
+	clk := &engineClock{}
+	log := &eventLog{}
+	e := NewEngine(Config{
+		MeanSession:  500 * time.Millisecond,
+		MeanDowntime: 500 * time.Millisecond,
+	}, clk, rand.New(rand.NewSource(9)), 10, hooksFor(log))
+	e.Exclude(3, 4)
+	e.Start()
+	clk.run(30 * time.Second)
+	for _, n := range append(append(append(log.joins, log.restarts...), log.leaves...), log.crashes...) {
+		if n == 3 || n == 4 {
+			t.Fatalf("excluded node %d saw a lifecycle event", n)
+		}
+	}
+	if !e.Online(3) || !e.Online(4) {
+		t.Fatal("excluded nodes must stay in construction state")
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	runOnce := func() ([]int, Stats) {
+		clk := &engineClock{}
+		log := &eventLog{}
+		e := NewEngine(Config{
+			MeanSession:            time.Second,
+			MeanDowntime:           time.Second,
+			CrashFraction:          0.3,
+			InitialOfflineFraction: 0.2,
+			JoinRate:               0.5,
+		}, clk, rand.New(rand.NewSource(11)), 30, hooksFor(log))
+		e.Start()
+		clk.run(20 * time.Second)
+		var seq []int
+		seq = append(seq, log.joins...)
+		seq = append(seq, log.restarts...)
+		seq = append(seq, log.leaves...)
+		seq = append(seq, log.crashes...)
+		return seq, e.Stats()
+	}
+	a, sa := runOnce()
+	b, sb := runOnce()
+	if sa != sb {
+		t.Fatalf("stats diverge: %+v vs %+v", sa, sb)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("event counts diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event sequence diverges at %d", i)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package membership
+
+import "time"
+
+// Scorer defaults.
+const (
+	// DefaultBaseBackoff is the quarantine after a peer's first timeout.
+	// It exceeds one adaptive-fetch round, so a peer that times out once
+	// sits out at least the next round.
+	DefaultBaseBackoff = time.Second
+	// DefaultMaxBackoff caps the exponential backoff; a peer dead for
+	// several probes is effectively out for the rest of the slot.
+	DefaultMaxBackoff = 30 * time.Second
+	// DefaultPenalty is the score deduction per recorded failure applied
+	// to a peer that is queryable again after its backoff expired.
+	DefaultPenalty = 2
+)
+
+// ScorerConfig parameterizes peer-liveness scoring.
+type ScorerConfig struct {
+	// BaseBackoff is the quarantine after the first timeout; each further
+	// consecutive timeout doubles it. Zero selects DefaultBaseBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling. Zero selects DefaultMaxBackoff.
+	MaxBackoff time.Duration
+	// Penalty is the per-failure score deduction for peers out of
+	// backoff. Zero selects DefaultPenalty.
+	Penalty int
+}
+
+func (c ScorerConfig) withDefaults() ScorerConfig {
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = DefaultBaseBackoff
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = DefaultMaxBackoff
+	}
+	if c.Penalty <= 0 {
+		c.Penalty = DefaultPenalty
+	}
+	return c
+}
+
+type peerScore struct {
+	failures     int
+	backoffUntil time.Duration
+}
+
+// Scorer tracks per-peer liveness for one node (Algorithm 1's scoring
+// step, extended with failure knowledge). Query timeouts demote a peer
+// with exponential backoff: while the backoff runs the peer is not
+// queryable at all; once it expires the peer is re-armed — the fetcher's
+// periodic queryable-set sweep retries it — but carries a score penalty
+// proportional to its failure count. Any successful response resets the
+// peer to healthy. State persists across slots: a peer that crashed in
+// slot s is still known-bad in slot s+1.
+//
+// Scorer implements fetch.Liveness and core.LivenessRecorder.
+type Scorer struct {
+	cfg   ScorerConfig
+	now   func() time.Duration
+	state map[int]*peerScore
+}
+
+// NewScorer creates a scorer reading time from now (the simulation
+// clock in practice).
+func NewScorer(cfg ScorerConfig, now func() time.Duration) *Scorer {
+	return &Scorer{cfg: cfg.withDefaults(), now: now, state: make(map[int]*peerScore)}
+}
+
+// ReportTimeout records that a query to the peer went unanswered,
+// doubling its backoff.
+func (s *Scorer) ReportTimeout(peer int) {
+	st := s.state[peer]
+	if st == nil {
+		st = &peerScore{}
+		s.state[peer] = st
+	}
+	st.failures++
+	back := s.cfg.BaseBackoff
+	for i := 1; i < st.failures && back < s.cfg.MaxBackoff; i++ {
+		back *= 2
+	}
+	if back > s.cfg.MaxBackoff {
+		back = s.cfg.MaxBackoff
+	}
+	st.backoffUntil = s.now() + back
+}
+
+// ReportSuccess marks the peer healthy, clearing failures and backoff.
+func (s *Scorer) ReportSuccess(peer int) { delete(s.state, peer) }
+
+// Queryable reports whether the peer may be queried now (false while in
+// timeout backoff). Implements fetch.Liveness.
+func (s *Scorer) Queryable(peer int) bool {
+	st := s.state[peer]
+	return st == nil || st.backoffUntil <= s.now()
+}
+
+// Penalty returns the score deduction for the peer (0 when healthy).
+// Implements fetch.Liveness.
+func (s *Scorer) Penalty(peer int) int {
+	st := s.state[peer]
+	if st == nil {
+		return 0
+	}
+	return st.failures * s.cfg.Penalty
+}
+
+// Failures returns the peer's consecutive timeout count.
+func (s *Scorer) Failures(peer int) int {
+	if st := s.state[peer]; st != nil {
+		return st.failures
+	}
+	return 0
+}
+
+// Demoted counts peers currently inside their backoff window.
+func (s *Scorer) Demoted() int {
+	now := s.now()
+	n := 0
+	for _, st := range s.state {
+		if st.backoffUntil > now {
+			n++
+		}
+	}
+	return n
+}

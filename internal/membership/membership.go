@@ -1,0 +1,162 @@
+// Package membership implements dynamic network membership for PANDAS:
+// evolving per-node views, a churn engine that schedules node lifecycle
+// events (join, graceful leave, crash, restart) on the simulation clock,
+// peer-liveness scoring with exponential backoff, and DHT-crawl-based
+// view refresh.
+//
+// The paper evaluates PANDAS under static membership only: every node's
+// view is frozen when the slot starts (Fig. 15b sweeps the *size* of
+// views but never changes one mid-slot), and churn is explicitly deferred
+// to future work (§9). This package supplies the missing dynamics over a
+// fixed identity universe — the epoch table still enumerates every
+// possible participant (as the DHT's ENR records do in practice), but
+// which of them is online changes continuously:
+//
+//   - the churn Engine drives offline→online→offline transitions from
+//     configurable processes (Poisson arrivals, exponential session and
+//     downtime lengths, flash-crowd/flash-exit bursts);
+//   - each node's LiveView evolves during a slot, fed by gossip of
+//     join/leave announcements and by periodic crawls of the Kademlia
+//     DHT (the paper's §4.1 view-building mechanism, internal/dht);
+//   - a per-node Scorer demotes peers that time out with exponential
+//     backoff, so the adaptive fetcher (Algorithm 1) stops burning round
+//     budget on departed peers; peers are re-armed when their backoff
+//     expires and the fetcher's queryable-set sweep retries them.
+//
+// Crashes leave stale state behind on purpose: a crashed node is never
+// announced, its entries linger in peers' views and routing tables, and
+// only liveness scoring removes it from fetch plans — the degradation
+// mode that churn studies of DAS networks identify as dominant.
+package membership
+
+// View reports whether a peer is visible to a node. It replaces the
+// static in-view closure of the original static-membership code:
+// implementations may evolve while a slot is running.
+type View interface {
+	Contains(peer int) bool
+}
+
+// ViewFunc adapts a predicate to the View interface.
+type ViewFunc func(peer int) bool
+
+// Contains implements View.
+func (f ViewFunc) Contains(peer int) bool { return f(peer) }
+
+// LiveView is a mutable membership view: the set of peers a node
+// currently believes to be part of the network. It is updated by gossip
+// announcements (joins and graceful leaves) and by DHT crawl refreshes;
+// crashed peers are NOT removed — they linger until liveness scoring
+// demotes them, mirroring stale ENRs in real deployments. Like every
+// per-node structure in this codebase it is confined to the simulator's
+// event loop and needs no locking.
+type LiveView struct {
+	known map[int]bool
+}
+
+// NewLiveView returns an empty view.
+func NewLiveView() *LiveView {
+	return &LiveView{known: make(map[int]bool)}
+}
+
+// FullLiveView returns a view containing peers 0..n-1.
+func FullLiveView(n int) *LiveView {
+	v := &LiveView{known: make(map[int]bool, n)}
+	for i := 0; i < n; i++ {
+		v.known[i] = true
+	}
+	return v
+}
+
+// Contains implements View.
+func (v *LiveView) Contains(peer int) bool { return v.known[peer] }
+
+// Add inserts a peer into the view.
+func (v *LiveView) Add(peer int) { v.known[peer] = true }
+
+// Remove deletes a peer from the view.
+func (v *LiveView) Remove(peer int) { delete(v.known, peer) }
+
+// Len returns the number of visible peers.
+func (v *LiveView) Len() int { return len(v.known) }
+
+// Peers returns the visible peer indices in unspecified order.
+func (v *LiveView) Peers() []int {
+	out := make([]int, 0, len(v.known))
+	for p := range v.known {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Announcement is the join/leave notice a node floods over the gossip
+// mesh when it enters or gracefully exits the network. Crashes produce
+// no announcement — peers only learn through timeouts and crawls.
+type Announcement struct {
+	// Seq uniquely identifies the announcement for duplicate
+	// suppression during mesh flooding.
+	Seq uint64
+	// Node is the subject's index.
+	Node int
+	// Join distinguishes a join (true) from a graceful leave (false).
+	Join bool
+}
+
+// AnnouncementWireSize is the datagram size of one announcement:
+// IP/UDP overhead (28) + seq (8) + node (4) + kind (1).
+const AnnouncementWireSize = 28 + 8 + 4 + 1
+
+// Directory is the cluster-side membership bookkeeping: the ground truth
+// of which nodes are online, and the "believed online" set that
+// announcement-followers (most importantly the builder) hold. The two
+// diverge exactly for crashes, which are not announced: a crashed node
+// stays believed-online and keeps receiving (wasted) seed traffic until
+// it returns.
+type Directory struct {
+	online      []bool
+	believed    []bool
+	onlineCount int
+}
+
+// NewDirectory creates a directory with all n nodes online and believed
+// online.
+func NewDirectory(n int) *Directory {
+	d := &Directory{online: make([]bool, n), believed: make([]bool, n), onlineCount: n}
+	for i := range d.online {
+		d.online[i] = true
+		d.believed[i] = true
+	}
+	return d
+}
+
+// SetOnline records ground-truth liveness.
+func (d *Directory) SetOnline(node int, on bool) {
+	if node < 0 || node >= len(d.online) || d.online[node] == on {
+		return
+	}
+	d.online[node] = on
+	if on {
+		d.onlineCount++
+	} else {
+		d.onlineCount--
+	}
+}
+
+// Online reports ground-truth liveness.
+func (d *Directory) Online(node int) bool {
+	return node >= 0 && node < len(d.online) && d.online[node]
+}
+
+// OnlineCount returns the number of online nodes.
+func (d *Directory) OnlineCount() int { return d.onlineCount }
+
+// SetBelieved records announcement-derived liveness belief.
+func (d *Directory) SetBelieved(node int, on bool) {
+	if node >= 0 && node < len(d.believed) {
+		d.believed[node] = on
+	}
+}
+
+// Believed reports announcement-derived liveness belief.
+func (d *Directory) Believed(node int) bool {
+	return node >= 0 && node < len(d.believed) && d.believed[node]
+}

@@ -1,0 +1,182 @@
+package membership
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLiveViewBasics(t *testing.T) {
+	v := NewLiveView()
+	if v.Contains(3) || v.Len() != 0 {
+		t.Fatal("fresh view not empty")
+	}
+	v.Add(3)
+	v.Add(7)
+	v.Add(3) // idempotent
+	if !v.Contains(3) || !v.Contains(7) || v.Len() != 2 {
+		t.Fatalf("after adds: len=%d", v.Len())
+	}
+	v.Remove(3)
+	if v.Contains(3) || v.Len() != 1 {
+		t.Fatal("remove failed")
+	}
+	v.Remove(99) // no-op
+	if v.Len() != 1 {
+		t.Fatal("removing absent peer changed view")
+	}
+}
+
+func TestFullLiveView(t *testing.T) {
+	v := FullLiveView(5)
+	for i := 0; i < 5; i++ {
+		if !v.Contains(i) {
+			t.Fatalf("full view missing %d", i)
+		}
+	}
+	if v.Contains(5) || v.Len() != 5 {
+		t.Fatal("full view wrong size")
+	}
+	got := v.Peers()
+	if len(got) != 5 {
+		t.Fatalf("Peers returned %d entries", len(got))
+	}
+}
+
+func TestViewFunc(t *testing.T) {
+	var v View = ViewFunc(func(p int) bool { return p%2 == 0 })
+	if !v.Contains(4) || v.Contains(5) {
+		t.Fatal("ViewFunc adapter broken")
+	}
+}
+
+func TestDirectory(t *testing.T) {
+	d := NewDirectory(4)
+	if d.OnlineCount() != 4 || !d.Online(2) || !d.Believed(2) {
+		t.Fatal("fresh directory not fully online")
+	}
+	d.SetOnline(2, false)
+	if d.Online(2) || d.OnlineCount() != 3 {
+		t.Fatal("SetOnline(false) not applied")
+	}
+	d.SetOnline(2, false) // idempotent
+	if d.OnlineCount() != 3 {
+		t.Fatal("double offline double-counted")
+	}
+	d.SetOnline(2, true)
+	if !d.Online(2) || d.OnlineCount() != 4 {
+		t.Fatal("SetOnline(true) not applied")
+	}
+	d.SetBelieved(1, false)
+	if d.Believed(1) || !d.Online(1) {
+		t.Fatal("belief must be independent of truth")
+	}
+	// Out-of-range indices are inert.
+	d.SetOnline(-1, false)
+	d.SetOnline(99, false)
+	if d.Online(-1) || d.Online(99) || d.OnlineCount() != 4 {
+		t.Fatal("out-of-range access changed state")
+	}
+}
+
+// fakeClock is a deterministic manual clock for scorer tests.
+type fakeClock struct{ t time.Duration }
+
+func (c *fakeClock) now() time.Duration { return c.t }
+
+func TestScorerBackoffGrowsAndCaps(t *testing.T) {
+	clk := &fakeClock{}
+	s := NewScorer(ScorerConfig{BaseBackoff: time.Second, MaxBackoff: 4 * time.Second}, clk.now)
+	if !s.Queryable(9) || s.Penalty(9) != 0 {
+		t.Fatal("unknown peer must be healthy")
+	}
+	s.ReportTimeout(9) // backoff 1s
+	if s.Queryable(9) {
+		t.Fatal("peer queryable during backoff")
+	}
+	if s.Failures(9) != 1 {
+		t.Fatalf("failures=%d", s.Failures(9))
+	}
+	clk.t = 1100 * time.Millisecond
+	if !s.Queryable(9) {
+		t.Fatal("peer not re-armed after backoff expiry")
+	}
+	if s.Penalty(9) == 0 {
+		t.Fatal("re-armed peer must still carry a penalty")
+	}
+	s.ReportTimeout(9) // backoff 2s
+	if s.Queryable(9) {
+		t.Fatal("second timeout must re-demote")
+	}
+	clk.t += 1500 * time.Millisecond
+	if s.Queryable(9) {
+		t.Fatal("backoff did not double")
+	}
+	clk.t += time.Second
+	if !s.Queryable(9) {
+		t.Fatal("doubled backoff never expired")
+	}
+	// Drive failures past the cap: backoff must stay at MaxBackoff.
+	for i := 0; i < 10; i++ {
+		s.ReportTimeout(9)
+	}
+	clk.t += 4*time.Second + time.Millisecond
+	if !s.Queryable(9) {
+		t.Fatal("backoff exceeded its cap")
+	}
+}
+
+func TestScorerSuccessResets(t *testing.T) {
+	clk := &fakeClock{}
+	s := NewScorer(ScorerConfig{}, clk.now)
+	s.ReportTimeout(4)
+	s.ReportTimeout(4)
+	if s.Demoted() != 1 {
+		t.Fatalf("demoted=%d", s.Demoted())
+	}
+	s.ReportSuccess(4)
+	if !s.Queryable(4) || s.Penalty(4) != 0 || s.Failures(4) != 0 || s.Demoted() != 0 {
+		t.Fatal("success did not reset the peer")
+	}
+}
+
+// engineClock adapts a sorted manual event queue for engine tests.
+type engineClock struct {
+	t      time.Duration
+	events []struct {
+		at time.Duration
+		fn func()
+	}
+}
+
+func (c *engineClock) Now() time.Duration { return c.t }
+func (c *engineClock) After(d time.Duration, fn func()) {
+	c.events = append(c.events, struct {
+		at time.Duration
+		fn func()
+	}{c.t + d, fn})
+}
+
+// run executes events in time order until the horizon.
+func (c *engineClock) run(until time.Duration) {
+	for {
+		best := -1
+		for i, e := range c.events {
+			if e.at > until {
+				continue
+			}
+			if best < 0 || e.at < c.events[best].at {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := c.events[best]
+		c.events = append(c.events[:best], c.events[best+1:]...)
+		c.t = e.at
+		e.fn()
+	}
+	if c.t < until {
+		c.t = until
+	}
+}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1 verification for the PANDAS reproduction (referenced from
+# ROADMAP.md). Fails fast on the first broken step.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (membership, core, fetch)"
+go test -race ./internal/membership ./internal/core ./internal/fetch
+
+echo "verify: OK"
