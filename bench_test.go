@@ -11,11 +11,13 @@ package pandas
 // in simulator speed.
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
 	"pandas/internal/core"
 	"pandas/internal/experiments"
+	"pandas/internal/ids"
 )
 
 // benchOptions is the shared reduced scale for experiment benchmarks.
@@ -176,6 +178,28 @@ func BenchmarkSamplingConfidence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := experiments.Confidence(512, []int{36, 73}, 200, int64(i+1))
 		b.ReportMetric(res.Points[1].Analytic, "boundAt73")
+	}
+}
+
+// BenchmarkBuilderPrepareBlob measures the full real-payload builder
+// pipeline at paper scale: 32 MiB of layer-2 data through the 2D
+// 512x512 erasure extension, commitment, and per-cell proofs (Fig. 2).
+// This is the end-to-end consumer of the erasure-coding fast paths.
+// Skipped with -short.
+func BenchmarkBuilderPrepareBlob(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-scale benchmark")
+	}
+	cfg := core.DefaultConfig()
+	data := make([]byte, cfg.Blob.BlobBytes())
+	rand.New(rand.NewSource(1)).Read(data)
+	bld := core.NewBuilder(cfg, 0, ids.NodeID{}, nil, nil, 1)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bld.PrepareBlob(data); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,110 @@
+package blob
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchBlob builds a deterministic pseudo-random base blob filling the
+// full capacity of the geometry.
+func benchBlob(b *testing.B, p Params) *Blob {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, p.BlobBytes())
+	rng.Read(data)
+	bl, err := NewBlob(p, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bl
+}
+
+// BenchmarkExtend32MB measures the full 2D extension at the paper
+// geometry: K=256, 512 B cells — a 32 MB base blob extended to the
+// 512x512 (128 MB) matrix. This is the builder's seeding-critical path
+// (Fig. 9). Throughput is reported relative to the base blob size.
+func BenchmarkExtend32MB(b *testing.B) {
+	p := DefaultParams()
+	bl := benchBlob(b, p)
+	b.SetBytes(int64(p.BlobBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Extend(bl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtendTest measures extension at the scaled-down test
+// geometry (16x16, 64 B cells) used throughout the unit tests.
+func BenchmarkExtendTest(b *testing.B) {
+	p := TestParams()
+	bl := benchBlob(b, p)
+	b.SetBytes(int64(p.BlobBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Extend(bl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReconstructLine measures single-line recovery at paper
+// geometry from exactly K of 2K cells, the consolidation hot path on
+// custody nodes. The same loss pattern repeats across iterations, the
+// common case under churn (the same dead custodians all slot).
+func BenchmarkReconstructLine(b *testing.B) {
+	p := DefaultParams()
+	bl := benchBlob(b, p)
+	ext, err := Extend(bl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	line := Line{Kind: Row, Index: 3}
+	cells := ext.Line(line)
+	have := make(map[int][]byte, p.K)
+	for i := 0; i < p.K; i++ {
+		// Interleave data and parity positions so reconstruction does
+		// real decode work (pure data positions would be a no-op).
+		pos := i * 2
+		have[pos] = cells[pos]
+	}
+	b.SetBytes(int64(p.N() * p.CellBytes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReconstructLine(p, have); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReconstructLineColdCache is BenchmarkReconstructLine with a
+// loss pattern that shifts every iteration, defeating any decode-matrix
+// caching: the matrix-inversion worst case.
+func BenchmarkReconstructLineColdCache(b *testing.B) {
+	p := DefaultParams()
+	bl := benchBlob(b, p)
+	ext, err := Extend(bl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	line := Line{Kind: Row, Index: 3}
+	cells := ext.Line(line)
+	n := p.N()
+	b.SetBytes(int64(n * p.CellBytes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		have := make(map[int][]byte, p.K)
+		for j := 0; j < p.K; j++ {
+			pos := (j*2 + i) % n
+			have[pos] = cells[pos]
+		}
+		if _, err := ReconstructLine(p, have); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,9 @@ package blob
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"pandas/internal/rs"
 )
@@ -59,47 +62,150 @@ type Extended struct {
 	rowRS  *rs.Codec16
 }
 
-// Extend erasure-codes the blob in two dimensions. Rows of the base blob
-// are extended first (K -> 2K cells per row), then every column of the
-// widened matrix is extended (K -> 2K cells per column). Because the code
-// is linear, the "parity of parity" quadrant is consistent whichever
-// dimension is coded first.
+// ExtendOptions tunes the two-dimensional extension.
+type ExtendOptions struct {
+	// Workers bounds the codeword worker pool; 0 uses GOMAXPROCS.
+	Workers int
+	// Sequential pins all coding to the calling goroutine (one worker,
+	// no goroutines spawned) for determinism tests and single-threaded
+	// profiling. Parallel and sequential extension produce bit-identical
+	// cells: codewords are independent and write disjoint cells.
+	Sequential bool
+}
+
+// shardsPool recycles the per-worker [][]byte codeword headers so the
+// steady-state extension performs zero per-cell allocations.
+var shardsPool sync.Pool
+
+func getShardHeaders(n int) [][]byte {
+	sh, _ := shardsPool.Get().([][]byte)
+	if cap(sh) < n {
+		return make([][]byte, n)
+	}
+	return sh[:n]
+}
+
+// Extend erasure-codes the blob in two dimensions with the default
+// options. Rows of the base blob are extended first (K -> 2K cells per
+// row), then every column of the widened matrix is extended (K -> 2K
+// cells per column). Because the code is linear, the "parity of parity"
+// quadrant is consistent whichever dimension is coded first.
 func Extend(b *Blob) (*Extended, error) {
+	return ExtendWith(b, ExtendOptions{})
+}
+
+// ExtendWith is Extend with explicit options.
+func ExtendWith(b *Blob, opt ExtendOptions) (*Extended, error) {
 	p := b.params
 	n := p.N()
 	codec, err := codecFor(p)
 	if err != nil {
 		return nil, fmt.Errorf("blob: create codec: %w", err)
 	}
+	// All cells of the three parity quadrants come from one backing
+	// allocation, pre-sliced to cell size so the codec reuses them in
+	// place; the data quadrant aliases the base blob.
 	cells := make([][]byte, n*n)
-	// Row extension: for each of the K data rows, shards 0..K-1 are the
-	// data cells and K..2K-1 are produced by the codec.
 	for r := 0; r < p.K; r++ {
-		shards := make([][]byte, n)
 		for c := 0; c < p.K; c++ {
-			shards[c] = b.Cell(r, c)
-		}
-		if err := codec.Encode(shards); err != nil {
-			return nil, fmt.Errorf("blob: extend row %d: %w", r, err)
-		}
-		for c := 0; c < n; c++ {
-			cells[r*n+c] = shards[c]
+			cells[r*n+c] = b.Cell(r, c)
 		}
 	}
-	// Column extension over all 2K columns.
-	for c := 0; c < n; c++ {
-		shards := make([][]byte, n)
-		for r := 0; r < p.K; r++ {
-			shards[r] = cells[r*n+c]
+	backing := make([]byte, 3*p.K*p.K*p.CellBytes)
+	next := 0
+	alloc := func() []byte {
+		s := backing[next : next+p.CellBytes : next+p.CellBytes]
+		next += p.CellBytes
+		return s
+	}
+	for r := 0; r < p.K; r++ {
+		for c := p.K; c < n; c++ {
+			cells[r*n+c] = alloc()
 		}
-		if err := codec.Encode(shards); err != nil {
-			return nil, fmt.Errorf("blob: extend column %d: %w", c, err)
+	}
+	for r := p.K; r < n; r++ {
+		for c := 0; c < n; c++ {
+			cells[r*n+c] = alloc()
 		}
-		for r := p.K; r < n; r++ {
-			cells[r*n+c] = shards[r]
+	}
+
+	workers := opt.Workers
+	if opt.Sequential {
+		workers = 1
+	} else if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Row phase: K row codewords, then a barrier (columns read the row
+	// parity), then n column codewords.
+	encodeRow := func(sh [][]byte, r int) error {
+		copy(sh, cells[r*n:(r+1)*n])
+		if err := codec.Encode(sh); err != nil {
+			return fmt.Errorf("blob: extend row %d: %w", r, err)
 		}
+		return nil
+	}
+	encodeCol := func(sh [][]byte, c int) error {
+		for r := 0; r < n; r++ {
+			sh[r] = cells[r*n+c]
+		}
+		if err := codec.Encode(sh); err != nil {
+			return fmt.Errorf("blob: extend column %d: %w", c, err)
+		}
+		return nil
+	}
+	if err := runCodewords(workers, n, p.K, encodeRow); err != nil {
+		return nil, err
+	}
+	if err := runCodewords(workers, n, n, encodeCol); err != nil {
+		return nil, err
 	}
 	return &Extended{params: p, n: n, cells: cells, rowRS: codec}, nil
+}
+
+// runCodewords runs fn(scratch, i) for i in [0, count) across a bounded
+// worker pool. Each worker owns one pooled codeword-header scratch of
+// length n. With one worker everything runs on the calling goroutine.
+func runCodewords(workers, n, count int, fn func(sh [][]byte, i int) error) error {
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		sh := getShardHeaders(n)
+		defer shardsPool.Put(sh) //nolint:staticcheck // slice header boxing is fine
+		for i := 0; i < count; i++ {
+			if err := fn(sh, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg      sync.WaitGroup
+		next    atomic.Int64
+		errOnce sync.Once
+		firstEr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh := getShardHeaders(n)
+			defer shardsPool.Put(sh) //nolint:staticcheck // slice header boxing is fine
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= count {
+					return
+				}
+				if err := fn(sh, i); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
 }
 
 // Params returns the blob geometry.

@@ -85,7 +85,7 @@ func (b *Builder) PrepareBlob(data []byte) error {
 	if err != nil {
 		return fmt.Errorf("core: builder blob: %w", err)
 	}
-	ext, err := blob.Extend(base)
+	ext, err := blob.ExtendWith(base, blob.ExtendOptions{Workers: b.cfg.ExtendWorkers})
 	if err != nil {
 		return fmt.Errorf("core: builder extend: %w", err)
 	}

@@ -92,6 +92,11 @@ type Config struct {
 	// only sampling drives the fetcher. The GossipSub baseline uses this:
 	// custody arrives via topic gossip instead of explicit consolidation.
 	DisableConsolidation bool
+	// ExtendWorkers bounds the builder's erasure-coding worker pool when
+	// extending real payloads (0 = GOMAXPROCS). Set 1 to pin the
+	// extension to a single goroutine; outputs are bit-identical either
+	// way, so this only trades wall-clock for scheduling determinism.
+	ExtendWorkers int
 }
 
 // DefaultConfig returns the paper's parameters: 512x512 extended matrix,

@@ -10,6 +10,8 @@
 // which in turn backs the two-dimensional blob extension used by PANDAS.
 package gf256
 
+import "encoding/binary"
+
 // Polynomial is the irreducible polynomial defining the field,
 // x^8 + x^4 + x^3 + x^2 + 1.
 const Polynomial = 0x11d
@@ -24,6 +26,13 @@ const generator = 2
 var (
 	expTable [512]byte // expTable[i] = generator^i, doubled to avoid mod 255
 	logTable [256]byte // logTable[x] = log_generator(x), logTable[0] unused
+
+	// Split multiplication tables: for s = hi<<4 | lo,
+	// c*s = mulHigh[c][hi] ^ mulLow[c][lo] by linearity over the bit
+	// decomposition of s. 32 bytes per coefficient (8 KiB total), so the
+	// slice kernels below are branch-free with L1-resident lookups.
+	mulLow  [256][16]byte // mulLow[c][x] = c * x
+	mulHigh [256][16]byte // mulHigh[c][x] = c * (x<<4)
 )
 
 func init() {
@@ -40,6 +49,13 @@ func init() {
 	// modular reduction (logA+logB <= 508).
 	for i := 255; i < 512; i++ {
 		expTable[i] = expTable[i-255]
+	}
+	for c := 1; c < 256; c++ {
+		logC := int(logTable[c])
+		for x := 1; x < 16; x++ {
+			mulLow[c][x] = expTable[logC+int(logTable[x])]
+			mulHigh[c][x] = expTable[logC+int(logTable[x<<4])]
+		}
 	}
 }
 
@@ -125,6 +141,25 @@ func MulSlice(c byte, src, dst []byte) {
 		copy(dst, src)
 		return
 	}
+	lo, hi := &mulLow[c], &mulHigh[c]
+	for i, s := range src {
+		dst[i] = lo[s&0xf] ^ hi[s>>4]
+	}
+}
+
+// mulSliceScalar is the log/exp reference implementation of MulSlice,
+// kept for differential fuzzing of the nibble-table kernel.
+func mulSliceScalar(c byte, src, dst []byte) {
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
 	logC := int(logTable[c])
 	for i, s := range src {
 		if s == 0 {
@@ -143,6 +178,22 @@ func MulAddSlice(c byte, src, dst []byte) {
 		return
 	}
 	if c == 1 {
+		AddSlice(src, dst)
+		return
+	}
+	lo, hi := &mulLow[c], &mulHigh[c]
+	for i, s := range src {
+		dst[i] ^= lo[s&0xf] ^ hi[s>>4]
+	}
+}
+
+// mulAddSliceScalar is the log/exp reference implementation of
+// MulAddSlice, kept for differential fuzzing of the nibble-table kernel.
+func mulAddSliceScalar(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
 		for i, s := range src {
 			dst[i] ^= s
 		}
@@ -156,9 +207,18 @@ func MulAddSlice(c byte, src, dst []byte) {
 	}
 }
 
-// AddSlice sets dst[i] ^= src[i] for all i.
+// AddSlice sets dst[i] ^= src[i] for all i, eight bytes per step.
 func AddSlice(src, dst []byte) {
-	for i, s := range src {
-		dst[i] ^= s
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
 	}
 }

@@ -1,0 +1,108 @@
+package gf65536
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Differential fuzzing: the split-table kernels must agree with the
+// log/exp scalar reference on every coefficient, every slice content,
+// odd lengths (trailing byte ignored by the word kernels), and fully
+// aliased src/dst.
+
+func FuzzMulAddBytes(f *testing.F) {
+	f.Add(uint16(0), []byte{})
+	f.Add(uint16(1), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(uint16(2), []byte{0xff, 0xee, 0x00, 0x00, 0x12, 0x34})
+	f.Add(uint16(0xffff), []byte("an odd-length slice spanning multiple 8-byte blocks"))
+	f.Fuzz(func(t *testing.T, c uint16, data []byte) {
+		dst := make([]byte, len(data))
+		for i := range dst {
+			dst[i] = byte(i*31 + 7)
+		}
+		want := append([]byte(nil), dst...)
+		got := append([]byte(nil), dst...)
+		mulAddBytesScalar(c, data, want)
+		MulAddBytes(c, data, got)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("MulAddBytes(%#x) diverges from scalar\nsrc  %x\nwant %x\ngot  %x", c, data, want, got)
+		}
+		// Fully aliased: dst == src. Each 16-bit word is read before its
+		// bytes are written, so the result must match the scalar loop.
+		aliasWant := append([]byte(nil), data...)
+		aliasGot := append([]byte(nil), data...)
+		mulAddBytesScalar(c, aliasWant, aliasWant)
+		MulAddBytes(c, aliasGot, aliasGot)
+		if !bytes.Equal(aliasWant, aliasGot) {
+			t.Fatalf("aliased MulAddBytes(%#x) diverges\nwant %x\ngot  %x", c, aliasWant, aliasGot)
+		}
+	})
+}
+
+func FuzzMulBytes(f *testing.F) {
+	f.Add(uint16(0), []byte{9, 9})
+	f.Add(uint16(3), []byte{0xde, 0xad, 0xbe, 0xef})
+	f.Add(uint16(0x8000), []byte("sixteen-bit word payload x"))
+	f.Fuzz(func(t *testing.T, c uint16, data []byte) {
+		want := make([]byte, len(data))
+		got := make([]byte, len(data))
+		// Pre-fill so untouched tail bytes must match too.
+		for i := range want {
+			want[i] = 0xa5
+			got[i] = 0xa5
+		}
+		mulBytesScalar(c, data, want)
+		MulBytes(c, data, got)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("MulBytes(%#x) diverges from scalar\nsrc  %x\nwant %x\ngot  %x", c, data, want, got)
+		}
+	})
+}
+
+// FuzzMulAdd4 checks the fused four-source kernel against four
+// sequential scalar multiply-accumulates.
+func FuzzMulAdd4(f *testing.F) {
+	f.Add(uint16(2), uint16(3), uint16(4), uint16(5), []byte("0123456789abcdef0123456789"))
+	f.Add(uint16(0), uint16(1), uint16(0xffff), uint16(0x100), []byte{7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, c0, c1, c2, c3 uint16, data []byte) {
+		// Derive four equally sized sources from the fuzz payload. The
+		// fused kernels are word-only (codec shard sizes are always
+		// even), unlike the scalar c==1 special case which XORs a
+		// trailing odd byte, so keep the length even.
+		q := (len(data) / 4) &^ 1
+		s0, s1, s2, s3 := data[:q], data[q:2*q], data[2*q:3*q], data[3*q:4*q]
+		want := make([]byte, q)
+		got := make([]byte, q)
+		mulAddBytesScalar(c0, s0, want)
+		mulAddBytesScalar(c1, s1, want)
+		mulAddBytesScalar(c2, s2, want)
+		mulAddBytesScalar(c3, s3, want)
+		MulAdd4(TableFor(c0), TableFor(c1), TableFor(c2), TableFor(c3), s0, s1, s2, s3, got)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("MulAdd4(%#x,%#x,%#x,%#x) diverges\nwant %x\ngot  %x", c0, c1, c2, c3, want, got)
+		}
+		want2 := make([]byte, q)
+		got2 := make([]byte, q)
+		mulAddBytesScalar(c0, s0, want2)
+		mulAddBytesScalar(c1, s1, want2)
+		MulAdd2(TableFor(c0), TableFor(c1), s0, s1, got2)
+		if !bytes.Equal(want2, got2) {
+			t.Fatalf("MulAdd2(%#x,%#x) diverges\nwant %x\ngot  %x", c0, c1, want2, got2)
+		}
+	})
+}
+
+// FuzzTableMatchesMul anchors every table entry reachable from a fuzzed
+// coefficient to the scalar field multiplication.
+func FuzzTableMatchesMul(f *testing.F) {
+	f.Add(uint16(0x1100), uint16(0xb))
+	f.Fuzz(func(t *testing.T, c, s uint16) {
+		tab := BuildTable(c)
+		if got, want := tab.Hi[s>>8]^tab.Lo[s&0xff], Mul(c, s); got != want {
+			t.Fatalf("table product %#x != Mul(%#x,%#x)=%#x", got, c, s, want)
+		}
+		if cached := TableFor(c); *cached != *tab {
+			t.Fatalf("TableFor(%#x) differs from BuildTable", c)
+		}
+	})
+}

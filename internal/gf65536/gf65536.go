@@ -143,7 +143,23 @@ func MulAddSlice(c uint16, src, dst []uint16) {
 
 // MulAddBytes sets dst ^= c*src where the byte slices are interpreted as
 // big-endian uint16 words. Both lengths must be equal and even.
+// Dispatches to the cached split-table kernel; hot loops that reuse the
+// same coefficient should hold a TableFor(c) result and call MulAdd on
+// it directly to skip the per-call cache load.
 func MulAddBytes(c uint16, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		AddBytes(src, dst)
+		return
+	}
+	TableFor(c).MulAdd(src, dst)
+}
+
+// mulAddBytesScalar is the log/exp-table reference implementation of
+// MulAddBytes, kept for differential fuzzing of the split-table kernel.
+func mulAddBytesScalar(c uint16, src, dst []byte) {
 	if c == 0 {
 		return
 	}
@@ -167,6 +183,22 @@ func MulAddBytes(c uint16, src, dst []byte) {
 
 // MulBytes sets dst = c*src over big-endian uint16 words.
 func MulBytes(c uint16, src, dst []byte) {
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	TableFor(c).Mul(src, dst)
+}
+
+// mulBytesScalar is the log/exp-table reference implementation of
+// MulBytes, kept for differential fuzzing of the split-table kernel.
+func mulBytesScalar(c uint16, src, dst []byte) {
 	if c == 0 {
 		for i := range dst {
 			dst[i] = 0

@@ -1,0 +1,181 @@
+package gf65536
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// MulTable16 holds the split multiplication tables for one fixed
+// coefficient c: for a 16-bit word s = hi<<8 | lo,
+//
+//	c*s = Hi[hi] ^ Lo[lo]
+//
+// by linearity of GF(2^16) multiplication over the bit decomposition of
+// s. Each table has 256 uint16 entries (1 KiB per coefficient in total),
+// so the working set of a multiply-accumulate pass fits in L1 cache —
+// unlike the scalar log/exp path, whose lookups roam a 384 KiB table
+// pair. All MulTable16 methods are branch-free per word and process
+// eight bytes (four words) per loop iteration.
+type MulTable16 struct {
+	Lo [256]uint16 // c * s for s in 0..255
+	Hi [256]uint16 // c * (s<<8) for s in 0..255
+}
+
+// BuildTable computes the split tables for coefficient c from the
+// log/exp tables. Callers that apply the same coefficient repeatedly
+// should use TableFor, which caches the result process-wide.
+func BuildTable(c uint16) *MulTable16 {
+	t := new(MulTable16)
+	if c == 0 {
+		return t
+	}
+	logC := int(logTable[c])
+	for s := 1; s < 256; s++ {
+		t.Lo[s] = expTable[logC+int(logTable[s])]
+		t.Hi[s] = expTable[logC+int(logTable[uint16(s)<<8])]
+	}
+	return t
+}
+
+// tableCache lazily caches one MulTable16 per coefficient, shared by all
+// codecs in the process. The pointer array costs 512 KiB; tables are
+// built on first use only for coefficients that actually occur in an
+// encode or decode matrix.
+var tableCache [Order]atomic.Pointer[MulTable16]
+
+// TableFor returns the (cached) split multiplication table for c.
+// Safe for concurrent use.
+func TableFor(c uint16) *MulTable16 {
+	if t := tableCache[c].Load(); t != nil {
+		return t
+	}
+	t := BuildTable(c)
+	if !tableCache[c].CompareAndSwap(nil, t) {
+		t = tableCache[c].Load()
+	}
+	return t
+}
+
+// MulAdd sets dst ^= c*src over big-endian 16-bit words, where c is the
+// table's coefficient. len(dst) must be >= len(src); a trailing odd byte
+// is ignored (slices used with the codec are always even-sized).
+func (t *MulTable16) MulAdd(src, dst []byte) {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s := binary.BigEndian.Uint64(src[i:])
+		p := uint64(t.Hi[s>>56]^t.Lo[s>>48&0xff])<<48 |
+			uint64(t.Hi[s>>40&0xff]^t.Lo[s>>32&0xff])<<32 |
+			uint64(t.Hi[s>>24&0xff]^t.Lo[s>>16&0xff])<<16 |
+			uint64(t.Hi[s>>8&0xff]^t.Lo[s&0xff])
+		binary.BigEndian.PutUint64(dst[i:], binary.BigEndian.Uint64(dst[i:])^p)
+	}
+	for ; i+1 < n; i += 2 {
+		p := t.Hi[src[i]] ^ t.Lo[src[i+1]]
+		dst[i] ^= byte(p >> 8)
+		dst[i+1] ^= byte(p)
+	}
+}
+
+// Mul sets dst = c*src over big-endian 16-bit words (overwrite form,
+// saving the dst pre-read of MulAdd). Same length rules as MulAdd.
+func (t *MulTable16) Mul(src, dst []byte) {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s := binary.BigEndian.Uint64(src[i:])
+		p := uint64(t.Hi[s>>56]^t.Lo[s>>48&0xff])<<48 |
+			uint64(t.Hi[s>>40&0xff]^t.Lo[s>>32&0xff])<<32 |
+			uint64(t.Hi[s>>24&0xff]^t.Lo[s>>16&0xff])<<16 |
+			uint64(t.Hi[s>>8&0xff]^t.Lo[s&0xff])
+		binary.BigEndian.PutUint64(dst[i:], p)
+	}
+	for ; i+1 < n; i += 2 {
+		p := t.Hi[src[i]] ^ t.Lo[src[i+1]]
+		dst[i] = byte(p >> 8)
+		dst[i+1] = byte(p)
+	}
+}
+
+// MulAdd4 sets dst ^= c0*s0 ^ c1*s1 ^ c2*s2 ^ c3*s3 in a single pass.
+// Fusing four sources quarters the dst read-modify-write traffic of four
+// separate MulAdd calls — with 512 B cells the dst stream is otherwise
+// the dominant memory cost of encoding. All four sources must have the
+// same length; len(dst) must be >= that length.
+func MulAdd4(t0, t1, t2, t3 *MulTable16, s0, s1, s2, s3, dst []byte) {
+	n := len(s0)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		a := binary.BigEndian.Uint64(s0[i:])
+		b := binary.BigEndian.Uint64(s1[i:])
+		c := binary.BigEndian.Uint64(s2[i:])
+		d := binary.BigEndian.Uint64(s3[i:])
+		p := uint64(t0.Hi[a>>56]^t0.Lo[a>>48&0xff]^t1.Hi[b>>56]^t1.Lo[b>>48&0xff]^
+			t2.Hi[c>>56]^t2.Lo[c>>48&0xff]^t3.Hi[d>>56]^t3.Lo[d>>48&0xff])<<48 |
+			uint64(t0.Hi[a>>40&0xff]^t0.Lo[a>>32&0xff]^t1.Hi[b>>40&0xff]^t1.Lo[b>>32&0xff]^
+				t2.Hi[c>>40&0xff]^t2.Lo[c>>32&0xff]^t3.Hi[d>>40&0xff]^t3.Lo[d>>32&0xff])<<32 |
+			uint64(t0.Hi[a>>24&0xff]^t0.Lo[a>>16&0xff]^t1.Hi[b>>24&0xff]^t1.Lo[b>>16&0xff]^
+				t2.Hi[c>>24&0xff]^t2.Lo[c>>16&0xff]^t3.Hi[d>>24&0xff]^t3.Lo[d>>16&0xff])<<16 |
+			uint64(t0.Hi[a>>8&0xff]^t0.Lo[a&0xff]^t1.Hi[b>>8&0xff]^t1.Lo[b&0xff]^
+				t2.Hi[c>>8&0xff]^t2.Lo[c&0xff]^t3.Hi[d>>8&0xff]^t3.Lo[d&0xff])
+		binary.BigEndian.PutUint64(dst[i:], binary.BigEndian.Uint64(dst[i:])^p)
+	}
+	for ; i+1 < n; i += 2 {
+		p := t0.Hi[s0[i]] ^ t0.Lo[s0[i+1]] ^
+			t1.Hi[s1[i]] ^ t1.Lo[s1[i+1]] ^
+			t2.Hi[s2[i]] ^ t2.Lo[s2[i+1]] ^
+			t3.Hi[s3[i]] ^ t3.Lo[s3[i+1]]
+		dst[i] ^= byte(p >> 8)
+		dst[i+1] ^= byte(p)
+	}
+}
+
+// MulAdd2 is the two-source form of MulAdd4, used for tails.
+func MulAdd2(t0, t1 *MulTable16, s0, s1, dst []byte) {
+	n := len(s0)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		a := binary.BigEndian.Uint64(s0[i:])
+		b := binary.BigEndian.Uint64(s1[i:])
+		p := uint64(t0.Hi[a>>56]^t0.Lo[a>>48&0xff]^t1.Hi[b>>56]^t1.Lo[b>>48&0xff])<<48 |
+			uint64(t0.Hi[a>>40&0xff]^t0.Lo[a>>32&0xff]^t1.Hi[b>>40&0xff]^t1.Lo[b>>32&0xff])<<32 |
+			uint64(t0.Hi[a>>24&0xff]^t0.Lo[a>>16&0xff]^t1.Hi[b>>24&0xff]^t1.Lo[b>>16&0xff])<<16 |
+			uint64(t0.Hi[a>>8&0xff]^t0.Lo[a&0xff]^t1.Hi[b>>8&0xff]^t1.Lo[b&0xff])
+		binary.BigEndian.PutUint64(dst[i:], binary.BigEndian.Uint64(dst[i:])^p)
+	}
+	for ; i+1 < n; i += 2 {
+		p := t0.Hi[s0[i]] ^ t0.Lo[s0[i+1]] ^ t1.Hi[s1[i]] ^ t1.Lo[s1[i+1]]
+		dst[i] ^= byte(p >> 8)
+		dst[i+1] ^= byte(p)
+	}
+}
+
+// AddBytes sets dst ^= src with wide 8-byte XORs (the c==1 fast path;
+// XOR is endianness-agnostic). A trailing odd byte IS processed, since
+// plain addition has no word structure.
+func AddBytes(src, dst []byte) {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}

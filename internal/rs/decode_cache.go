@@ -1,0 +1,79 @@
+package rs
+
+import (
+	"container/list"
+	"sync"
+)
+
+// decodeCacheSize bounds the per-codec LRU of inverted decode matrices.
+// At the paper geometry an entry is a 256x256 uint16 matrix (128 KiB), so
+// the cache tops out at 8 MiB per codec while covering far more loss
+// patterns than recur in practice (under churn the same dead custodians
+// produce the same pattern all slot).
+const decodeCacheSize = 64
+
+// decodeCache is a small mutex-guarded LRU of inverted decode matrices
+// keyed by the bitmask of the k shards chosen for reconstruction.
+// Recurring loss patterns skip the O(k^3) Gauss-Jordan inversion.
+type decodeCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type decodeCacheEntry struct {
+	key string
+	dec matrix16
+}
+
+func newDecodeCache(capacity int) *decodeCache {
+	return &decodeCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// chosenKey packs the chosen shard indices into a bitmask string usable
+// as a map key. n is the total shard count of the codec.
+func chosenKey(chosen []int, n int) string {
+	mask := make([]byte, (n+7)/8)
+	for _, idx := range chosen {
+		mask[idx>>3] |= 1 << (idx & 7)
+	}
+	return string(mask)
+}
+
+func (dc *decodeCache) get(key string) (matrix16, bool) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	el, ok := dc.entries[key]
+	if !ok {
+		return matrix16{}, false
+	}
+	dc.order.MoveToFront(el)
+	return el.Value.(*decodeCacheEntry).dec, true
+}
+
+func (dc *decodeCache) put(key string, dec matrix16) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if el, ok := dc.entries[key]; ok {
+		dc.order.MoveToFront(el)
+		return
+	}
+	dc.entries[key] = dc.order.PushFront(&decodeCacheEntry{key: key, dec: dec})
+	for dc.order.Len() > dc.cap {
+		el := dc.order.Back()
+		dc.order.Remove(el)
+		delete(dc.entries, el.Value.(*decodeCacheEntry).key)
+	}
+}
+
+// len reports the number of cached matrices (for tests).
+func (dc *decodeCache) len() int {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return dc.order.Len()
+}

@@ -15,6 +15,7 @@
 package rs
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
@@ -36,10 +37,12 @@ var (
 )
 
 // Codec encodes k data shards into n total shards and reconstructs from
-// any k of them. A Codec is immutable and safe for concurrent use.
+// any k of them. A Codec is logically immutable and safe for concurrent
+// use; the internal scratch pool is synchronized.
 type Codec struct {
-	k, n   int
-	encode matrix // n x k; top k rows are the identity
+	k, n    int
+	encode  matrix      // n x k; top k rows are the identity
+	scratch scratchPool // reusable Verify comparison buffers
 }
 
 // New creates a codec with k data shards and n total shards
@@ -79,17 +82,24 @@ func (c *Codec) Encode(shards [][]byte) error {
 		return err
 	}
 	for i := c.k; i < c.n; i++ {
-		if len(shards[i]) != size {
-			shards[i] = make([]byte, size)
+		if cap(shards[i]) >= size {
+			shards[i] = shards[i][:size]
 		} else {
-			clear(shards[i])
+			shards[i] = make([]byte, size)
 		}
-		row := c.encode.row(i)
-		for j := 0; j < c.k; j++ {
-			mulAdd(row[j], shards[j], shards[i])
-		}
+		mulRowInto8(c.encode.row(i), shards[:c.k], shards[i])
 	}
 	return nil
+}
+
+// mulRowInto8 sets dst = sum_j row[j]*srcs[j] over GF(2^8), overwriting
+// dst (the first term is an overwriting multiply, so reused buffers need
+// no clearing pass).
+func mulRowInto8(row []byte, srcs [][]byte, dst []byte) {
+	gf256.MulSlice(row[0], srcs[0], dst)
+	for j := 1; j < len(srcs); j++ {
+		gf256.MulAddSlice(row[j], srcs[j], dst)
+	}
 }
 
 // Reconstruct fills in missing shards (nil entries) in place. shards must
@@ -174,17 +184,12 @@ func (c *Codec) Verify(shards [][]byte) (bool, error) {
 			return false, ErrShardSize
 		}
 	}
-	buf := make([]byte, size)
+	buf := c.scratch.get(1, size)
+	defer c.scratch.put(buf)
 	for i := c.k; i < c.n; i++ {
-		clear(buf)
-		row := c.encode.row(i)
-		for j := 0; j < c.k; j++ {
-			mulAdd(row[j], shards[j], buf)
-		}
-		for b := range buf {
-			if buf[b] != shards[i][b] {
-				return false, nil
-			}
+		mulRowInto8(c.encode.row(i), shards[:c.k], buf[0])
+		if !bytes.Equal(buf[0], shards[i]) {
+			return false, nil
 		}
 	}
 	return true, nil

@@ -1,7 +1,11 @@
 package rs
 
 import (
+	"bytes"
 	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"pandas/internal/gf65536"
 )
@@ -15,11 +19,52 @@ const MaxShards16 = 65536
 // 16-bit words, so shard sizes must be even. This is the codec used for
 // the 256->512 row/column extension of the PANDAS blob matrix.
 //
-// A Codec16 is immutable and safe for concurrent use.
+// The public API is unchanged from the naive implementation, but the hot
+// paths are not: when k is a power of two, Encode and Verify run the
+// additive-FFT evaluation of rs16_fft.go (O(k log k) shard operations,
+// bit-identical output); all remaining matrix products run on cached
+// split-multiplication tables with four-source fused accumulation; and
+// Reconstruct keeps an LRU of inverted decode matrices keyed by the
+// chosen-shard bitmask so recurring loss patterns skip Gauss-Jordan.
+//
+// A Codec16 is logically immutable and safe for concurrent use; the
+// internal caches are synchronized.
 type Codec16 struct {
 	k, n   int
 	encode matrix16 // n x k, top k rows identity
+
+	fft *fftPlan // non-nil when k is a power of two >= 2
+
+	// rowTab lazily caches the split-multiplication tables of each
+	// encode-matrix row, so Encode/Reconstruct/Verify on the matrix path
+	// never rebuild per-coefficient tables.
+	rowTab []atomic.Pointer[[]*gf65536.MulTable16]
+
+	dec     *decodeCache // inverted decode matrices by loss pattern
+	scratch scratchPool  // shard workspaces for Verify and encodeFFT
+	hdrs    scratchPool  // shard-header ([][]byte) workspaces, size 0
 }
+
+// scratchPool hands out slices of reusable shard-sized buffers.
+type scratchPool struct{ p sync.Pool }
+
+func (sp *scratchPool) get(count, size int) [][]byte {
+	bufs, _ := sp.p.Get().([][]byte)
+	if cap(bufs) < count {
+		bufs = make([][]byte, count)
+	}
+	bufs = bufs[:count]
+	for i := range bufs {
+		if cap(bufs[i]) < size {
+			bufs[i] = make([]byte, size)
+		} else {
+			bufs[i] = bufs[i][:size]
+		}
+	}
+	return bufs
+}
+
+func (sp *scratchPool) put(bufs [][]byte) { sp.p.Put(bufs) } //nolint:staticcheck // slice header boxing is fine here
 
 // matrix16 is a dense row-major matrix over GF(2^16).
 type matrix16 struct {
@@ -131,7 +176,52 @@ func New16(k, n int) (*Codec16, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rs: vandermonde16 top block: %w", err)
 	}
-	return &Codec16{k: k, n: n, encode: v.mul(topInv)}, nil
+	c := &Codec16{
+		k:      k,
+		n:      n,
+		encode: v.mul(topInv),
+		rowTab: make([]atomic.Pointer[[]*gf65536.MulTable16], n),
+		dec:    newDecodeCache(decodeCacheSize),
+	}
+	if k >= 2 && bits.OnesCount(uint(k)) == 1 {
+		c.fft = newFFTPlan(k, n)
+	}
+	return c, nil
+}
+
+// rowTables returns the cached split-multiplication tables of
+// encode-matrix row i, building them on first use.
+func (c *Codec16) rowTables(i int) []*gf65536.MulTable16 {
+	if t := c.rowTab[i].Load(); t != nil {
+		return *t
+	}
+	row := c.encode.row(i)
+	tabs := make([]*gf65536.MulTable16, len(row))
+	for j, v := range row {
+		tabs[j] = gf65536.TableFor(v)
+	}
+	c.rowTab[i].CompareAndSwap(nil, &tabs)
+	return *c.rowTab[i].Load()
+}
+
+// mulRowInto sets dst = sum_j tabs[j]*srcs[j], overwriting dst. The first
+// source is an overwriting multiply (no clearing pass) and the remainder
+// accumulate four sources per dst pass, which quarters the dst
+// read-modify-write traffic of the naive loop.
+func mulRowInto(tabs []*gf65536.MulTable16, srcs [][]byte, dst []byte) {
+	tabs[0].Mul(srcs[0], dst)
+	j := 1
+	for ; j+4 <= len(srcs); j += 4 {
+		gf65536.MulAdd4(tabs[j], tabs[j+1], tabs[j+2], tabs[j+3],
+			srcs[j], srcs[j+1], srcs[j+2], srcs[j+3], dst)
+	}
+	if j+2 <= len(srcs) {
+		gf65536.MulAdd2(tabs[j], tabs[j+1], srcs[j], srcs[j+1], dst)
+		j += 2
+	}
+	for ; j < len(srcs); j++ {
+		tabs[j].MulAdd(srcs[j], dst)
+	}
 }
 
 // DataShards returns k.
@@ -145,6 +235,7 @@ func (c *Codec16) ParityShards() int { return c.n - c.k }
 
 // Encode computes parity shards n-k..n-1 from data shards 0..k-1.
 // All data shards must be non-nil, equally sized, and of even length.
+// Existing parity slices are reused when their capacity suffices.
 func (c *Codec16) Encode(shards [][]byte) error {
 	if len(shards) != c.n {
 		return fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), c.n)
@@ -154,17 +245,58 @@ func (c *Codec16) Encode(shards [][]byte) error {
 		return err
 	}
 	for i := c.k; i < c.n; i++ {
-		if len(shards[i]) != size {
-			shards[i] = make([]byte, size)
+		if cap(shards[i]) >= size {
+			shards[i] = shards[i][:size]
 		} else {
-			clear(shards[i])
-		}
-		row := c.encode.row(i)
-		for j := 0; j < c.k; j++ {
-			gf65536.MulAddBytes(row[j], shards[j], shards[i])
+			shards[i] = make([]byte, size)
 		}
 	}
+	if c.fft != nil {
+		c.encodeFFT(shards, size)
+		return nil
+	}
+	for i := c.k; i < c.n; i++ {
+		mulRowInto(c.rowTables(i), shards[:c.k], shards[i])
+	}
 	return nil
+}
+
+// encodeFFT fills the parity shards by interpolating the data on W_h
+// (inverse FFT) and evaluating on each parity coset (forward FFT). Every
+// write fully overwrites its destination, so reused parity buffers need
+// no clearing.
+func (c *Codec16) encodeFFT(shards [][]byte, size int) {
+	k := c.k
+	if c.n == 2*k {
+		// The workspace is the parity half itself: copy the data in,
+		// transform to coefficients, transform to the coset — the values
+		// land exactly where they belong, with zero extra buffers.
+		w := shards[k:]
+		for j := 0; j < k; j++ {
+			copy(w[j], shards[j])
+		}
+		c.fft.ifftShards(w)
+		c.fft.fftShards(w, c.fft.fftTab[0])
+		return
+	}
+	coeffs := c.scratch.get(k, size)
+	defer c.scratch.put(coeffs)
+	for j := 0; j < k; j++ {
+		copy(coeffs[j], shards[j])
+	}
+	c.fft.ifftShards(coeffs)
+	vals := c.scratch.get(k, size)
+	defer c.scratch.put(vals)
+	for ci := range c.fft.fftTab {
+		for j := range vals {
+			copy(vals[j], coeffs[j])
+		}
+		c.fft.fftShards(vals, c.fft.fftTab[ci])
+		lo := (ci + 1) * k
+		for j := 0; j < k && lo+j < c.n; j++ {
+			copy(shards[lo+j], vals[j])
+		}
+	}
 }
 
 // Reconstruct fills in nil shards in place given at least k present shards.
@@ -195,13 +327,23 @@ func (c *Codec16) Reconstruct(shards [][]byte) error {
 		return nil
 	}
 	chosen := present[:c.k]
-	sub := newMatrix16(c.k, c.k)
-	for r, idx := range chosen {
-		copy(sub.row(r), c.encode.row(idx))
-	}
-	dec, err := sub.invert()
+	dec, err := c.decodeMatrixFor(chosen)
 	if err != nil {
-		return fmt.Errorf("rs: decode matrix16: %w", err)
+		return err
+	}
+	// Recover missing data shards from the chosen present shards. The
+	// source-shard set is the same for every row, so gather it (and a
+	// reusable table slice) once.
+	srcs := make([][]byte, c.k)
+	for r, idx := range chosen {
+		srcs[r] = shards[idx]
+	}
+	tabs := make([]*gf65536.MulTable16, c.k)
+	missingParity := 0
+	for i := c.k; i < c.n; i++ {
+		if shards[i] == nil {
+			missingParity++
+		}
 	}
 	for j := 0; j < c.k; j++ {
 		if shards[j] != nil {
@@ -209,23 +351,64 @@ func (c *Codec16) Reconstruct(shards [][]byte) error {
 		}
 		out := make([]byte, size)
 		row := dec.row(j)
-		for r, idx := range chosen {
-			gf65536.MulAddBytes(row[r], shards[idx], out)
+		for r, v := range row {
+			tabs[r] = gf65536.TableFor(v)
 		}
+		mulRowInto(tabs, srcs, out)
 		shards[j] = out
+	}
+	if missingParity == 0 {
+		return nil
+	}
+	// Regenerate missing parity from the (now complete) data. When many
+	// parity shards are gone and the FFT path exists, recomputing ALL
+	// parity costs O(k log k) shard ops versus O(k) per matrix row, so
+	// switch over past ~2 log2(k) missing shards.
+	if c.fft != nil && missingParity > 2*c.fft.h {
+		full := c.scratch.get(c.n-c.k, size)
+		defer c.scratch.put(full)
+		tmp := c.hdrs.get(c.n, 0)
+		defer c.hdrs.put(tmp)
+		copy(tmp, shards[:c.k])
+		for i := c.k; i < c.n; i++ {
+			tmp[i] = full[i-c.k]
+		}
+		c.encodeFFT(tmp, size)
+		for i := c.k; i < c.n; i++ {
+			if shards[i] == nil {
+				shards[i] = append([]byte(nil), tmp[i]...)
+			}
+		}
+		return nil
 	}
 	for i := c.k; i < c.n; i++ {
 		if shards[i] != nil {
 			continue
 		}
 		out := make([]byte, size)
-		row := c.encode.row(i)
-		for j := 0; j < c.k; j++ {
-			gf65536.MulAddBytes(row[j], shards[j], out)
-		}
+		mulRowInto(c.rowTables(i), shards[:c.k], out)
 		shards[i] = out
 	}
 	return nil
+}
+
+// decodeMatrixFor returns the inverted decode matrix for the chosen
+// present-shard set, consulting the loss-pattern LRU first.
+func (c *Codec16) decodeMatrixFor(chosen []int) (matrix16, error) {
+	key := chosenKey(chosen, c.n)
+	if dec, ok := c.dec.get(key); ok {
+		return dec, nil
+	}
+	sub := newMatrix16(c.k, c.k)
+	for r, idx := range chosen {
+		copy(sub.row(r), c.encode.row(idx))
+	}
+	dec, err := sub.invert()
+	if err != nil {
+		return matrix16{}, fmt.Errorf("rs: decode matrix16: %w", err)
+	}
+	c.dec.put(key, dec)
+	return dec, nil
 }
 
 // Verify checks parity consistency; all shards must be present.
@@ -244,17 +427,34 @@ func (c *Codec16) Verify(shards [][]byte) (bool, error) {
 			return false, ErrShardSize
 		}
 	}
-	buf := make([]byte, size)
-	for i := c.k; i < c.n; i++ {
-		clear(buf)
-		row := c.encode.row(i)
-		for j := 0; j < c.k; j++ {
-			gf65536.MulAddBytes(row[j], shards[j], buf)
+	if size%2 != 0 {
+		return false, fmt.Errorf("%w: odd shard size %d", ErrShardSize, size)
+	}
+	if c.fft != nil {
+		// Recompute all parity via the FFT path into pooled scratch and
+		// compare — the same O(k log k) cost as Encode.
+		tmp := c.scratch.get(c.n-c.k, size)
+		defer c.scratch.put(tmp)
+		shadow := c.hdrs.get(c.n, 0)
+		defer c.hdrs.put(shadow)
+		copy(shadow, shards[:c.k])
+		for i := c.k; i < c.n; i++ {
+			shadow[i] = tmp[i-c.k]
 		}
-		for b := range buf {
-			if buf[b] != shards[i][b] {
+		c.encodeFFT(shadow, size)
+		for i := c.k; i < c.n; i++ {
+			if !bytes.Equal(shadow[i], shards[i]) {
 				return false, nil
 			}
+		}
+		return true, nil
+	}
+	buf := c.scratch.get(1, size)
+	defer c.scratch.put(buf)
+	for i := c.k; i < c.n; i++ {
+		mulRowInto(c.rowTables(i), shards[:c.k], buf[0])
+		if !bytes.Equal(buf[0], shards[i]) {
+			return false, nil
 		}
 	}
 	return true, nil

@@ -1,0 +1,149 @@
+package rs
+
+import (
+	"math/bits"
+
+	"pandas/internal/gf65536"
+)
+
+// Additive-FFT encode path (Lin–Chung–Han style) for Codec16.
+//
+// The codec's generator matrix is the normalized Vandermonde construction:
+// data shard j is the value of a degree-<k polynomial p at the field
+// element j, and parity shard i is p(i) for i in [k, n). When k is a power
+// of two, the data points {0..k-1} form a GF(2)-linear subspace
+// W_h = span{x^0..x^{h-1}} (h = log2 k) and every aligned k-block of
+// parity points {ck..ck+k-1} is a coset ck + W_h. Interpolation on W_h
+// and evaluation on a coset are then additive FFTs in the novel
+// polynomial basis of LCH14: O(k log k) shard operations instead of the
+// O(k^2) of the matrix product, while producing bit-identical parity —
+// the polynomial through k points of degree < k is unique, so any
+// evaluation algorithm yields the same bytes as the matrix path.
+//
+// Construction. s_i is the subspace polynomial vanishing on W_i:
+//
+//	s_0(x) = x,   s_{i+1}(x) = s_i(x)^2 + s_i(v_i)·s_i(x),  v_i = x^i
+//
+// (s_i is GF(2)-linearized, so s_i(a+b) = s_i(a)+s_i(b)). The normalized
+// polynomial is ŝ_i = s_i / s_i(v_i), which satisfies ŝ_i(v_i) = 1 and
+// vanishes on W_i. The novel basis is X_j = Π ŝ_i^{j_i} over the binary
+// digits j_i of j. A length-2^h transform at coset offset β runs h
+// butterfly stages; the butterfly of stage s on the pair (u, v) separated
+// by 2^s uses the per-block twiddle t = ŝ_s(β + base), where base is the
+// block's starting index:
+//
+//	FFT  (coeffs → values):  u ^= t·v ; v ^= u
+//	IFFT (values → coeffs):  v ^= u   ; u ^= t·v
+//
+// The recursion offsets differ by exactly ŝ_s(v_s) = 1 between block
+// halves, which is what the normalization buys.
+type fftPlan struct {
+	k, h int
+	// ifftTab[s][b] is the split-multiplication table of the stage-s,
+	// block-b twiddle of the inverse transform at offset 0; nil marks a
+	// zero twiddle (the multiply is skipped).
+	ifftTab [][]*gf65536.MulTable16
+	// fftTab[c] holds the same schedule for the forward transform at
+	// coset offset (c+1)*k, i.e. the parity block of shards
+	// [(c+1)k, (c+2)k).
+	fftTab [][][]*gf65536.MulTable16
+	// sHat[s][b] = ŝ_s(x^b); by linearity ŝ_s(y) is the XOR of the
+	// entries at y's set bits.
+	sHat [][16]uint16
+}
+
+// newFFTPlan builds the twiddle schedule for k data shards (k a power of
+// two, k >= 2) and n total shards.
+func newFFTPlan(k, n int) *fftPlan {
+	h := bits.TrailingZeros(uint(k))
+	p := &fftPlan{k: k, h: h}
+
+	// Subspace polynomial images s_i(x^b) by the linearized recursion.
+	var s [16]uint16
+	for b := 0; b < 16; b++ {
+		s[b] = 1 << b
+	}
+	p.sHat = make([][16]uint16, h)
+	for i := 0; i < h; i++ {
+		inv := gf65536.Inv(s[i]) // s_i(v_i) != 0 since v_i is outside W_i
+		for b := 0; b < 16; b++ {
+			p.sHat[i][b] = gf65536.Mul(s[b], inv)
+		}
+		si := s[i]
+		for b := 0; b < 16; b++ {
+			s[b] = gf65536.Add(gf65536.Mul(s[b], s[b]), gf65536.Mul(si, s[b]))
+		}
+	}
+
+	p.ifftTab = p.schedule(0)
+	cosets := (n + k - 1) / k // aligned k-blocks covering [k, n)
+	p.fftTab = make([][][]*gf65536.MulTable16, cosets-1)
+	for c := 1; c < cosets; c++ {
+		p.fftTab[c-1] = p.schedule(uint(c * k))
+	}
+	return p
+}
+
+// sHatAt evaluates ŝ_s at y using GF(2)-linearity over y's bits.
+func (p *fftPlan) sHatAt(s int, y uint) uint16 {
+	var out uint16
+	for b := y; b != 0; b &= b - 1 {
+		out ^= p.sHat[s][bits.TrailingZeros(b)]
+	}
+	return out
+}
+
+// schedule precomputes the per-stage, per-block twiddle tables of a
+// length-k transform at coset offset beta.
+func (p *fftPlan) schedule(beta uint) [][]*gf65536.MulTable16 {
+	tabs := make([][]*gf65536.MulTable16, p.h)
+	for s := 0; s < p.h; s++ {
+		blocks := p.k >> (s + 1)
+		tabs[s] = make([]*gf65536.MulTable16, blocks)
+		for b := 0; b < blocks; b++ {
+			t := p.sHatAt(s, beta^uint(b<<(s+1)))
+			if t != 0 {
+				tabs[s][b] = gf65536.TableFor(t)
+			}
+		}
+	}
+	return tabs
+}
+
+// ifftShards transforms sh[0..k) in place from values on W_h to
+// novel-basis coefficients. All shards must be equally sized.
+func (p *fftPlan) ifftShards(sh [][]byte) {
+	for s := 0; s < p.h; s++ {
+		step := 1 << s
+		tabs := p.ifftTab[s]
+		for base := 0; base < p.k; base += 2 * step {
+			t := tabs[base>>(s+1)]
+			for i := base; i < base+step; i++ {
+				u, v := sh[i], sh[i+step]
+				gf65536.AddBytes(u, v) // v ^= u
+				if t != nil {
+					t.MulAdd(v, u) // u ^= t*v
+				}
+			}
+		}
+	}
+}
+
+// fftShards transforms sh[0..k) in place from novel-basis coefficients
+// to values on the coset whose twiddle schedule is tabs.
+func (p *fftPlan) fftShards(sh [][]byte, tabs [][]*gf65536.MulTable16) {
+	for s := p.h - 1; s >= 0; s-- {
+		step := 1 << s
+		st := tabs[s]
+		for base := 0; base < p.k; base += 2 * step {
+			t := st[base>>(s+1)]
+			for i := base; i < base+step; i++ {
+				u, v := sh[i], sh[i+step]
+				if t != nil {
+					t.MulAdd(v, u) // u ^= t*v
+				}
+				gf65536.AddBytes(u, v) // v ^= u
+			}
+		}
+	}
+}

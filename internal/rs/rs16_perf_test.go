@@ -1,0 +1,146 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestEncode16FFTMatchesMatrix pins the additive-FFT encode to the
+// systematic Vandermonde matrix product: for power-of-two k both paths
+// must produce bit-identical parity, at n == 2k (in-place fast path) and
+// at n != 2k (multi-coset + partial-coset path).
+func TestEncode16FFTMatchesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for _, tc := range []struct{ k, n int }{
+		{2, 4}, {4, 8}, {8, 16}, {16, 32}, // rate-1/2 fast path
+		{4, 6}, {8, 21}, {16, 40}, // general coset path
+	} {
+		fftC := mustCodec16(t, tc.k, tc.n)
+		if fftC.fft == nil {
+			t.Fatalf("k=%d: expected FFT plan", tc.k)
+		}
+		matC := mustCodec16(t, tc.k, tc.n)
+		matC.fft = nil // force the matrix path
+
+		a := randShards(rng, tc.k, tc.n, 64)
+		b := make([][]byte, tc.n)
+		for i := 0; i < tc.k; i++ {
+			b[i] = append([]byte(nil), a[i]...)
+		}
+		if err := fftC.Encode(a); err != nil {
+			t.Fatalf("k=%d n=%d fft encode: %v", tc.k, tc.n, err)
+		}
+		if err := matC.Encode(b); err != nil {
+			t.Fatalf("k=%d n=%d matrix encode: %v", tc.k, tc.n, err)
+		}
+		for i := range a {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("k=%d n=%d shard %d: FFT and matrix encodes differ", tc.k, tc.n, i)
+			}
+		}
+	}
+}
+
+// TestEncode16ReusesParityCapacity checks that Encode writes into
+// caller-provided parity buffers instead of reallocating.
+func TestEncode16ReusesParityCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	c := mustCodec16(t, 4, 8)
+	shards := randShards(rng, 4, 8, 32)
+	for i := 4; i < 8; i++ {
+		shards[i] = make([]byte, 0, 64) // ample capacity, zero length
+	}
+	before := make([]*byte, 8)
+	for i := 4; i < 8; i++ {
+		before[i] = &shards[i][:1][0]
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 8; i++ {
+		if len(shards[i]) != 32 {
+			t.Fatalf("parity %d resized to %d, want 32", i, len(shards[i]))
+		}
+		if &shards[i][0] != before[i] {
+			t.Fatalf("parity %d was reallocated despite sufficient capacity", i)
+		}
+	}
+	if ok, err := c.Verify(shards); err != nil || !ok {
+		t.Fatalf("Verify = %v %v", ok, err)
+	}
+}
+
+// TestReconstruct16DecodeCache checks that the decode-matrix LRU caches
+// by loss pattern: repeating a pattern adds no entry, a new pattern does,
+// and cached reconstructions stay correct.
+func TestReconstruct16DecodeCache(t *testing.T) {
+	const k, n, size = 8, 16, 32
+	rng := rand.New(rand.NewSource(42))
+	c := mustCodec16(t, k, n)
+	master := randShards(rng, k, n, size)
+	if err := c.Encode(master); err != nil {
+		t.Fatal(err)
+	}
+	lose := func(missing ...int) [][]byte {
+		shards := make([][]byte, n)
+		gone := make(map[int]bool, len(missing))
+		for _, i := range missing {
+			gone[i] = true
+		}
+		for i := range master {
+			if !gone[i] {
+				shards[i] = append([]byte(nil), master[i]...)
+			}
+		}
+		return shards
+	}
+	check := func(shards [][]byte) {
+		t.Helper()
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatal(err)
+		}
+		for i := range master {
+			if !bytes.Equal(shards[i], master[i]) {
+				t.Fatalf("shard %d mismatch after cached reconstruct", i)
+			}
+		}
+	}
+	check(lose(0, 3, 5))
+	if got := c.dec.len(); got != 1 {
+		t.Fatalf("cache size after first pattern = %d, want 1", got)
+	}
+	check(lose(0, 3, 5)) // same pattern: hit, no growth
+	if got := c.dec.len(); got != 1 {
+		t.Fatalf("cache size after repeat = %d, want 1", got)
+	}
+	check(lose(1, 2)) // new pattern: miss, one more entry
+	if got := c.dec.len(); got != 2 {
+		t.Fatalf("cache size after second pattern = %d, want 2", got)
+	}
+}
+
+// TestReconstruct16FFTParityRegen forces the bulk-parity FFT regeneration
+// branch (many missing parity shards) and checks bit-exact recovery.
+func TestReconstruct16FFTParityRegen(t *testing.T) {
+	const k, n, size = 16, 32, 64
+	rng := rand.New(rand.NewSource(43))
+	c := mustCodec16(t, k, n)
+	master := randShards(rng, k, n, size)
+	if err := c.Encode(master); err != nil {
+		t.Fatal(err)
+	}
+	// All parity missing (16 > 2*log2(16) = 8 triggers the FFT branch).
+	shards := make([][]byte, n)
+	for i := 0; i < k; i++ {
+		shards[i] = append([]byte(nil), master[i]...)
+	}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range master {
+		if !bytes.Equal(shards[i], master[i]) {
+			t.Fatalf("shard %d mismatch after FFT parity regeneration", i)
+		}
+	}
+}

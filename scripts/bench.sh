@@ -1,0 +1,59 @@
+#!/bin/sh
+# Erasure-coding benchmark harness: runs the ECC micro- and macro-
+# benchmarks and records the results as BENCH_ecc.json at the repo root,
+# so codec performance is tracked alongside the code.
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime   go test -benchtime value (default 1x: one measured
+#               iteration per benchmark, fast enough for CI; use e.g.
+#               2s locally for stable numbers).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1x}"
+OUT="BENCH_ecc.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== ECC benchmarks (benchtime=$BENCHTIME)"
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
+	./internal/gf65536 ./internal/rs ./internal/blob | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkBuilderPrepareBlob' -benchmem \
+	-benchtime "$BENCHTIME" . | tee -a "$RAW"
+
+# Parse `Benchmark<Name>[-procs] N ns/op [MB/s] [B/op] [allocs/op]`
+# lines into a JSON object keyed by benchmark name.
+awk -v benchtime="$BENCHTIME" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; mbs = ""; allocs = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "MB/s") mbs = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	line = sprintf("    \"%s\": {\"ns_per_op\": %s", name, ns)
+	if (mbs != "") line = line sprintf(", \"mb_per_s\": %s", mbs)
+	if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+	line = line "}"
+	out[n++] = line
+}
+END {
+	printf "{\n  \"benchtime\": \"%s\",\n", benchtime
+	# Pre-optimization seed-codec numbers (log/exp scalar kernels,
+	# sequential extension), measured on the same 1-core Xeon 2.10GHz
+	# before the split-table/FFT pipeline landed. Kept for comparison.
+	printf "  \"pre_pr_baseline\": {\n"
+	printf "    \"BenchmarkExtend32MB\": {\"ns_per_op\": 39139022293, \"mb_per_s\": 0.86, \"allocs_per_op\": 197387},\n"
+	printf "    \"BenchmarkReconstructLine\": {\"ns_per_op\": 67927269, \"mb_per_s\": 3.86, \"allocs_per_op\": 1355}\n"
+	printf "  },\n"
+	printf "  \"benchmarks\": {\n"
+	for (i = 0; i < n; i++) printf "%s%s\n", out[i], (i < n-1 ? "," : "")
+	printf "  }\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT ($(grep -c 'ns_per_op' "$OUT") benchmarks)"

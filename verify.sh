@@ -14,7 +14,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (membership, core, fetch)"
-go test -race ./internal/membership ./internal/core ./internal/fetch
+echo "== go test -race (membership, core, fetch, blob, rs, gf65536)"
+go test -race ./internal/membership ./internal/core ./internal/fetch \
+	./internal/blob ./internal/rs ./internal/gf65536
 
 echo "verify: OK"
