@@ -19,6 +19,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"pandas/internal/blob"
 	"pandas/internal/core"
 	"pandas/internal/ids"
+	"pandas/internal/obsv"
 	"pandas/internal/transport"
 	"pandas/internal/wire"
 )
@@ -50,6 +52,7 @@ func run(args []string) error {
 		custody   = fs.Int("custody", 4, "rows and columns per node")
 		samples   = fs.Int("samples", 6, "random cells sampled per slot")
 		slotGap   = fs.Duration("slot-gap", 12*time.Second, "time between slots")
+		metrics   = fs.String("metrics", "", "serve Prometheus text metrics at http://ADDR/metrics (e.g. :9464)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +76,25 @@ func run(args []string) error {
 	cfg.RealPayloads = true
 	if err := cfg.Validate(); err != nil {
 		return err
+	}
+
+	var reg *obsv.Registry
+	if *metrics != "" {
+		reg = obsv.NewRegistry()
+		cfg.Metrics = reg
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := reg.Snapshot().WritePrometheus(w); err != nil {
+				fmt.Fprintln(os.Stderr, "pandas-node: metrics write:", err)
+			}
+		})
+		go func() {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "pandas-node: metrics server:", err)
+			}
+		}()
+		fmt.Printf("metrics exposition at http://%s/metrics\n", *metrics)
 	}
 
 	// Deterministic shared identities: every process derives the same
@@ -122,6 +144,12 @@ func run(args []string) error {
 				report := b.SeedSlot(s)
 				fmt.Printf("slot %d: seeded %d cells in %d messages (%d KB) to %d nodes\n",
 					s, report.Cells, report.Messages, report.Bytes/1024, report.NodesSeeded)
+				if reg != nil {
+					reg.Counter("builder_seed_cells_total").Add(int64(report.Cells))
+					reg.Counter("builder_seed_messages_total").Add(int64(report.Messages))
+					reg.Counter("builder_seed_bytes_total").Add(int64(report.Bytes))
+					reg.Gauge("builder_slot").Set(int64(s))
+				}
 				close(done)
 			})
 			<-done
@@ -154,10 +182,25 @@ func run(args []string) error {
 	for range ticker.C {
 		status := make(chan string, 1)
 		ep.Run(func() {
-			m := node.Metrics
+			m := node.Metrics()
 			status <- fmt.Sprintf("slot %d: seed=%v consolidated=%v sampled=%v",
 				slot, m.HasSeed, m.Consolidated, m.Sampled)
+			if reg != nil {
+				reg.Gauge("node_slot").Set(int64(slot))
+				reg.Gauge("node_has_seed").Set(boolGauge(m.HasSeed))
+				reg.Gauge("node_consolidated").Set(boolGauge(m.Consolidated))
+				reg.Gauge("node_sampled").Set(boolGauge(m.Sampled))
+				reg.Gauge("node_fetch_msgs_sent").Set(int64(m.FetchMsgsSent))
+				reg.Gauge("node_fetch_msgs_recv").Set(int64(m.FetchMsgsRecv))
+				reg.Gauge("node_fetch_bytes_sent").Set(m.FetchBytesSent)
+				reg.Gauge("node_fetch_bytes_recv").Set(m.FetchBytesRecv)
+			}
 			if m.Sampled && m.Consolidated {
+				if reg != nil {
+					reg.Counter("node_slots_completed_total").Inc()
+					reg.Histogram("node_sampling_seconds", obsv.DefaultLatencyBounds).
+						Observe(m.SampledAt.Seconds())
+				}
 				slot++
 				node.StartSlot(slot)
 			}
@@ -165,6 +208,13 @@ func run(args []string) error {
 		fmt.Println(<-status)
 	}
 	return nil
+}
+
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func readPeers(path string) ([]string, error) {

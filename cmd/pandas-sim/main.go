@@ -25,6 +25,7 @@ import (
 	"pandas/internal/core"
 	"pandas/internal/experiments"
 	"pandas/internal/metrics"
+	"pandas/internal/obsv"
 )
 
 type renderer interface{ Render() string }
@@ -50,6 +51,7 @@ func run(args []string) error {
 		list   = fs.Bool("list", false, "list experiments and exit")
 		csvDir = fs.String("csv", "", "also write sampling CDF CSVs into this directory (fig9/fig11/fig12)")
 		trials = fs.Int("trials", 20000, "Monte Carlo trials for confidence")
+		trace  = fs.String("trace", "", "record a protocol event trace and write it to this JSONL file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +78,15 @@ func run(args []string) error {
 		o.Core = core.TestConfig()
 	} else {
 		o.Core = core.DefaultConfig()
+	}
+	var ring *obsv.Ring
+	if *trace != "" {
+		var rerr error
+		ring, rerr = obsv.NewRing(o.Core.TraceRing)
+		if rerr != nil {
+			return rerr
+		}
+		o.Core.Recorder = ring
 	}
 
 	var (
@@ -127,6 +138,34 @@ func run(args []string) error {
 			return fmt.Errorf("write csv: %w", err)
 		}
 	}
+	if ring != nil {
+		if err := writeTrace(*trace, ring); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeTrace dumps the recorded events as JSON Lines (load them back
+// with obsv.ReadJSONL / obsv.NewTimeline).
+func writeTrace(path string, ring *obsv.Ring) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	events := ring.Events()
+	if err := obsv.WriteJSONL(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if lost := ring.Overwritten(); lost > 0 {
+		fmt.Fprintf(os.Stderr, "trace: ring wrapped, oldest %d of %d events lost (raise Config.TraceRing)\n",
+			lost, ring.Recorded())
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s\n", len(events), path)
 	return nil
 }
 

@@ -251,8 +251,8 @@ func (g *GossipCluster) RunSlot(slot uint64) (*Result, error) {
 	res := &Result{BuilderBytes: g.net.Stats(g.bIndex).BytesSent}
 	for i, nd := range g.nodes {
 		s := time.Duration(-1)
-		if nd.Metrics.Sampled {
-			s = nd.Metrics.SampledAt - start
+		if nd.Metrics().Sampled {
+			s = nd.Metrics().SampledAt - start
 		}
 		res.Sampling = append(res.Sampling, s)
 		st := g.net.Stats(i)

@@ -9,6 +9,7 @@ import (
 	"pandas/internal/ids"
 	"pandas/internal/kzg"
 	"pandas/internal/membership"
+	"pandas/internal/obsv"
 	"pandas/internal/wire"
 )
 
@@ -50,6 +51,9 @@ type Builder struct {
 	// leaves are announced and drop out, crashes are not and keep
 	// receiving (wasted) seed traffic.
 	view membership.View
+
+	// rec traces seed transmissions; nil disables tracing.
+	rec obsv.Recorder
 }
 
 // NewBuilder creates a builder bound to a transport address.
@@ -61,6 +65,7 @@ func NewBuilder(cfg Config, index int, id ids.NodeID, table *Table, tr Transport
 		index: index,
 		id:    id,
 		rng:   rand.New(rand.NewSource(rngSeed)),
+		rec:   cfg.Recorder,
 	}
 }
 
@@ -344,6 +349,12 @@ func (b *Builder) SeedSlot(slot uint64) SeedingReport {
 			report.Messages++
 			report.Cells += len(m.Cells)
 			report.Bytes += int64(size)
+			if b.rec != nil {
+				b.rec.Record(obsv.Event{At: b.tr.Now(), Slot: slot,
+					Kind: obsv.KindSeedSent, Node: int32(b.index),
+					Peer: int32(nc.node), Count: int32(len(m.Cells)),
+					Bytes: int64(size), Aux: int64(len(m.Boost))})
+			}
 			b.tr.SendReliable(nc.node, size, m)
 		}
 	}

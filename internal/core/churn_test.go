@@ -147,8 +147,8 @@ func TestChurnRestartResumesCustodyEmptyStore(t *testing.T) {
 		for i := range c.nodes {
 			if c.joinedAt[i] >= 0 {
 				probed = true
-				hadSeed = c.nodes[i].Metrics.HasSeed
-				wasSampled = c.nodes[i].Metrics.Sampled
+				hadSeed = c.nodes[i].Metrics().HasSeed
+				wasSampled = c.nodes[i].Metrics().Sampled
 			}
 		}
 	})

@@ -12,6 +12,7 @@ import (
 	"pandas/internal/ids"
 	"pandas/internal/latency"
 	"pandas/internal/membership"
+	"pandas/internal/obsv"
 	"pandas/internal/simnet"
 	"pandas/internal/wire"
 )
@@ -126,6 +127,13 @@ type Cluster struct {
 	joinedAt   []time.Duration
 	leftAt     []time.Duration
 	churnPrev  membership.Stats
+
+	// Observability (nil without Core.Recorder / Core.Metrics).
+	rec        obsv.Recorder
+	mGossip    *obsv.Counter
+	mGossipDup *obsv.Counter
+	mAnn       *obsv.Counter
+	mDHT       *obsv.Counter
 }
 
 // simTransport adapts the simulator to the core Transport interface.
@@ -194,6 +202,14 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 		table:   table,
 		deadSet: make(map[int]bool),
 		randao:  randao,
+		rec:     cc.Core.Recorder,
+	}
+	if reg := cc.Core.Metrics; reg != nil {
+		net.SetMetrics(reg)
+		c.mGossip = reg.Counter("gossip_msgs_total")
+		c.mGossipDup = reg.Counter("gossip_duplicates_total")
+		c.mAnn = reg.Counter("membership_announcements_total")
+		c.mDHT = reg.Counter("dht_msgs_total")
 	}
 
 	proposer, err := ids.NewIdentity()
@@ -308,6 +324,9 @@ func (c *Cluster) setupChurn(cc ClusterConfig) error {
 	c.scorers = make([]*membership.Scorer, n)
 	for i := range c.scorers {
 		c.scorers[i] = membership.NewScorer(cc.Churn.Scorer, c.net.Now)
+		if c.rec != nil {
+			c.scorers[i].SetRecorder(c.rec, i)
+		}
 		c.nodes[i].SetLiveness(c.scorers[i])
 	}
 
@@ -336,6 +355,9 @@ func (c *Cluster) setupChurn(cc ClusterConfig) error {
 			cc.Churn.RefreshInterval, cc.Churn.RefreshFanout,
 			cc.Seed^int64(i)*7919,
 			func() bool { return c.dir.Online(i) })
+		if c.rec != nil {
+			c.refreshers[i].SetRecorder(c.rec, i)
+		}
 		if interval > 0 {
 			// Stagger crawl starts across one interval so the network is
 			// not hit by synchronized lookups.
@@ -413,6 +435,9 @@ func (c *Cluster) publishAnnouncement(node int, join bool) {
 }
 
 func (c *Cluster) onAnnouncement(node, from, size int, m annMsg) {
+	if c.mAnn != nil {
+		c.mAnn.Inc()
+	}
 	fwd, isNew := c.annRouters[node].Receive(c.annOverlay, m.id, from)
 	if !isNew {
 		return
@@ -433,9 +458,17 @@ func (c *Cluster) onAnnouncement(node, from, size int, m annMsg) {
 // crashers alike start the current slot from an empty store and announce
 // themselves, and a catch-up crawl rebuilds their possibly stale view.
 func (c *Cluster) onChurnJoin(node int, restart bool) {
-	_ = restart
 	if err := c.net.SetDead(node, false); err != nil {
 		return
+	}
+	if c.rec != nil {
+		op := obsv.ChurnJoin
+		if restart {
+			op = obsv.ChurnRestart
+		}
+		c.rec.Record(obsv.Event{At: c.net.Now(), Slot: c.curSlot,
+			Kind: obsv.KindChurnEvent, Node: int32(node), Peer: -1,
+			Aux: int64(op)})
 	}
 	c.dir.SetOnline(node, true)
 	c.dir.SetBelieved(node, true)
@@ -455,6 +488,15 @@ func (c *Cluster) onChurnJoin(node int, restart bool) {
 func (c *Cluster) onChurnLeave(node int, crash bool) {
 	if c.leftAt[node] < 0 {
 		c.leftAt[node] = c.net.Now()
+	}
+	if c.rec != nil {
+		op := obsv.ChurnLeave
+		if crash {
+			op = obsv.ChurnCrash
+		}
+		c.rec.Record(obsv.Event{At: c.net.Now(), Slot: c.curSlot,
+			Kind: obsv.KindChurnEvent, Node: int32(node), Peer: -1,
+			Aux: int64(op)})
 	}
 	if !crash {
 		c.publishAnnouncement(node, false)
@@ -477,6 +519,14 @@ func (c *Cluster) dispatch(node, from, size int, payload any) {
 		return
 	}
 	if c.dhtPeers != nil && c.dhtPeers[node].HandleMessage(from, payload) {
+		if c.mDHT != nil {
+			c.mDHT.Inc()
+		}
+		if c.rec != nil {
+			c.rec.Record(obsv.Event{At: c.net.Now(), Slot: c.curSlot,
+				Kind: obsv.KindDHTMsg, Node: int32(node), Peer: int32(from),
+				Bytes: int64(size)})
+		}
 		if from >= 0 && from < len(c.nodes) {
 			// Any DHT exchange teaches the recipient the sender's record,
 			// as real Kademlia contact handling does — this is what lets
@@ -495,7 +545,18 @@ func (c *Cluster) onBlockGossip(node, from, size int, id gossip.MsgID) {
 	}
 	fwd, isNew := c.routers[node].Receive(c.overlay, id, from)
 	if !isNew {
+		if c.mGossipDup != nil {
+			c.mGossipDup.Inc()
+		}
 		return
+	}
+	if c.mGossip != nil {
+		c.mGossip.Inc()
+	}
+	if c.rec != nil {
+		c.rec.Record(obsv.Event{At: c.net.Now(), Slot: c.curSlot,
+			Kind: obsv.KindGossipMsg, Node: int32(node), Peer: int32(from),
+			Bytes: int64(size)})
 	}
 	if c.blockRecv[node] < 0 {
 		c.blockRecv[node] = c.net.Now()
@@ -532,6 +593,14 @@ func (c *Cluster) RunSlot(slot uint64) (*SlotResult, error) {
 	start := c.net.Now()
 	droppedBefore := c.net.Dropped()
 	c.curSlot = slot
+	// Liveness scorers and refreshers outlive slots; restamp the slot
+	// their traced events carry.
+	for _, s := range c.scorers {
+		s.SetSlot(slot)
+	}
+	for _, r := range c.refreshers {
+		r.SetSlot(slot)
+	}
 	for i, n := range c.nodes {
 		c.blockRecv[i] = -1
 		if c.dir != nil {
@@ -580,74 +649,82 @@ func (c *Cluster) RunSlot(slot uint64) (*SlotResult, error) {
 		c.churnPrev = st
 	}
 	res.Outcomes = make([]NodeOutcome, len(c.nodes))
-	for i, n := range c.nodes {
-		o := NodeOutcome{
-			Seed:          -1,
-			Consolidation: -1,
-			Sampling:      -1,
-			BlockRecv:     -1,
-			ConsFromSeed:  -1,
-			JoinedAt:      -1,
-			LeftAt:        -1,
-			Dead:          c.deadSet[i],
-		}
-		if c.dir != nil {
-			o.Offline = !c.started[i]
-			if c.joinedAt[i] >= 0 {
-				o.JoinedAt = c.joinedAt[i] - start
-			}
-			if c.leftAt[i] >= 0 {
-				o.LeftAt = c.leftAt[i] - start
-			}
-		}
-		if o.Offline {
-			// The node never ran this slot; its Metrics are stale
-			// leftovers from its last active slot.
-			o.SampleVote = consensus.Attest(consensus.TightForkChoice,
-				consensus.AttestationInput{SlotStart: time.Unix(0, 0)})
-			res.Outcomes[i] = o
-			continue
-		}
-		m := n.Metrics
-		o.FetchMsgs = m.FetchMsgsSent + m.FetchMsgsRecv
-		o.FetchBytes = m.FetchBytesSent + m.FetchBytesRecv
-		o.Rounds = m.Rounds
-		if m.HasSeed {
-			// "Time to seeding" is the arrival of the node's initial seed
-			// data (the paper's Fig. 9a metric).
-			o.Seed = m.FirstSeedAt - start
-		}
-		if m.Consolidated {
-			o.Consolidation = m.ConsolidatedAt - start
-			if m.HasSeed {
-				o.ConsFromSeed = m.ConsolidatedAt - m.FirstSeedAt
-			}
-		}
-		if m.Sampled {
-			o.Sampling = m.SampledAt - start
-		}
-		if c.blockRecv[i] >= 0 {
-			o.BlockRecv = c.blockRecv[i] - start
-		}
-		// Tight fork-choice attestation: block (when gossiped) and DAS
-		// must both land within the 4 s phase.
-		in := consensus.AttestationInput{SlotStart: time.Unix(0, 0)}
-		if o.BlockRecv >= 0 || c.overlay == nil {
-			block := o.BlockRecv
-			if c.overlay == nil {
-				block = 0 // block dissemination not simulated: assume on time
-			}
-			in.BlockValidAt = in.SlotStart.Add(block)
-		}
-		if o.Sampling >= 0 {
-			in.DASCompleteAt = in.SlotStart.Add(o.Sampling)
-		}
-		o.SampleVote = consensus.Attest(consensus.TightForkChoice, in)
-		res.Outcomes[i] = o
+	for i := range c.nodes {
+		res.Outcomes[i] = c.nodeOutcome(i, start)
 	}
 	// Reset traffic stats so subsequent slots measure independently.
 	c.net.ResetStats()
 	return res, nil
+}
+
+// nodeOutcome derives one node's NodeOutcome from the unified read path:
+// the obsv view the node's observer maintained during the slot (returned
+// by Node.Metrics), plus the cluster's own lifecycle and block-gossip
+// bookkeeping. Durations are made relative to the slot start here; the
+// view keeps absolute virtual times.
+func (c *Cluster) nodeOutcome(i int, start time.Duration) NodeOutcome {
+	o := NodeOutcome{
+		Seed:          -1,
+		Consolidation: -1,
+		Sampling:      -1,
+		BlockRecv:     -1,
+		ConsFromSeed:  -1,
+		JoinedAt:      -1,
+		LeftAt:        -1,
+		Dead:          c.deadSet[i],
+	}
+	if c.dir != nil {
+		o.Offline = !c.started[i]
+		if c.joinedAt[i] >= 0 {
+			o.JoinedAt = c.joinedAt[i] - start
+		}
+		if c.leftAt[i] >= 0 {
+			o.LeftAt = c.leftAt[i] - start
+		}
+	}
+	if o.Offline {
+		// The node never ran this slot; its view holds stale leftovers
+		// from its last active slot.
+		o.SampleVote = consensus.Attest(consensus.TightForkChoice,
+			consensus.AttestationInput{SlotStart: time.Unix(0, 0)})
+		return o
+	}
+	m := c.nodes[i].Metrics()
+	o.FetchMsgs = m.FetchMsgsSent + m.FetchMsgsRecv
+	o.FetchBytes = m.FetchBytesSent + m.FetchBytesRecv
+	o.Rounds = m.Rounds
+	if m.HasSeed {
+		// "Time to seeding" is the arrival of the node's initial seed
+		// data (the paper's Fig. 9a metric).
+		o.Seed = m.FirstSeedAt - start
+	}
+	if m.Consolidated {
+		o.Consolidation = m.ConsolidatedAt - start
+		if m.HasSeed {
+			o.ConsFromSeed = m.ConsolidatedAt - m.FirstSeedAt
+		}
+	}
+	if m.Sampled {
+		o.Sampling = m.SampledAt - start
+	}
+	if c.blockRecv[i] >= 0 {
+		o.BlockRecv = c.blockRecv[i] - start
+	}
+	// Tight fork-choice attestation: block (when gossiped) and DAS
+	// must both land within the 4 s phase.
+	in := consensus.AttestationInput{SlotStart: time.Unix(0, 0)}
+	if o.BlockRecv >= 0 || c.overlay == nil {
+		block := o.BlockRecv
+		if c.overlay == nil {
+			block = 0 // block dissemination not simulated: assume on time
+		}
+		in.BlockValidAt = in.SlotStart.Add(block)
+	}
+	if o.Sampling >= 0 {
+		in.DASCompleteAt = in.SlotStart.Add(o.Sampling)
+	}
+	o.SampleVote = consensus.Attest(consensus.TightForkChoice, in)
+	return o
 }
 
 // EligibleAt reports whether the node counts toward the deadline-success

@@ -18,6 +18,7 @@ import (
 	"pandas/internal/assign"
 	"pandas/internal/blob"
 	"pandas/internal/fetch"
+	"pandas/internal/obsv"
 	"pandas/internal/wire"
 )
 
@@ -97,6 +98,21 @@ type Config struct {
 	// extension to a single goroutine; outputs are bit-identical either
 	// way, so this only trades wall-clock for scheduling determinism.
 	ExtendWorkers int
+	// Recorder receives protocol trace events from every layer (builder
+	// seeding, node receive/fetch/sample paths, liveness transitions,
+	// churn). Nil — the default — disables tracing: every emission site
+	// is a single nil check, so the protocol's behaviour and timing are
+	// unchanged (see obsv's disabled-path benchmark gate).
+	Recorder obsv.Recorder
+	// Metrics is the counters/gauges/histograms registry shared by the
+	// deployment (gossip/DHT message counts, simulator queue depth).
+	// Nil disables registry updates.
+	Metrics *obsv.Registry
+	// TraceRing is the event capacity of the ring-buffer recorder created
+	// by trace-enabled drivers (pandas-sim -trace, pandas.NewTraceRing).
+	// It does not allocate anything by itself; it only sizes the ring
+	// when one is requested.
+	TraceRing int
 }
 
 // DefaultConfig returns the paper's parameters: 512x512 extended matrix,
@@ -115,6 +131,7 @@ func DefaultConfig() Config {
 		Policy:         PolicyRedundant,
 		Redundancy:     8,
 		MaxCellsPerMsg: wire.MaxCellsPerMessage,
+		TraceRing:      obsv.DefaultRingSize,
 	}
 }
 
@@ -151,7 +168,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("%w: deadline=%v", ErrBadConfig, c.Deadline)
 	case c.MaxCellsPerMsg < 1:
 		return fmt.Errorf("%w: maxCellsPerMsg=%d", ErrBadConfig, c.MaxCellsPerMsg)
+	case c.TraceRing < 1:
+		return fmt.Errorf("%w: traceRing=%d", ErrBadConfig, c.TraceRing)
 	}
+	// Recorder and Metrics are nil-safe: nil simply disables tracing and
+	// registry updates, so there is nothing further to validate.
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"pandas/internal/fetch"
 	"pandas/internal/ids"
 	"pandas/internal/membership"
+	"pandas/internal/obsv"
 	"pandas/internal/wire"
 )
 
@@ -26,50 +27,16 @@ type LivenessRecorder interface {
 }
 
 // RoundStat captures the fetching progress of one node during one round,
-// the quantities reported in Table 1 of the paper.
-type RoundStat struct {
-	MsgsSent          int
-	CellsRequested    int
-	RepliesInRound    int
-	RepliesAfterRound int
-	CellsInRound      int
-	CellsAfterRound   int
-	Duplicates        int
-	Reconstructed     int
-	// CoverageAfter is the cumulative fraction of the node's initial
-	// fetch set satisfied when the NEXT round began.
-	CoverageAfter float64
-}
+// the quantities reported in Table 1 of the paper. It is an alias of
+// obsv.RoundStat: the observability layer owns the definition and core
+// re-exports it so existing call sites keep compiling.
+type RoundStat = obsv.RoundStat
 
-// NodeMetrics aggregates one node's per-slot observations.
-type NodeMetrics struct {
-	// Phase completion (absolute virtual times; valid when the Has* /
-	// Consolidated / Sampled flags are set).
-	FirstSeedAt    time.Duration
-	SeedAt         time.Duration // last seed datagram received
-	ConsolidatedAt time.Duration
-	SampledAt      time.Duration
-	HasSeed        bool
-	Consolidated   bool
-	Sampled        bool
-
-	// Seeding counters.
-	SeedCells      int
-	SeedDuplicates int
-
-	// Fetch-phase traffic (queries + responses, both directions),
-	// excluding seeding. This is the quantity of Fig. 10.
-	FetchMsgsSent  int
-	FetchMsgsRecv  int
-	FetchBytesSent int64
-	FetchBytesRecv int64
-
-	// Rounds holds per-round statistics (Table 1).
-	Rounds []RoundStat
-
-	// InitialFetchSet is |F| when fetching began.
-	InitialFetchSet int
-}
+// NodeMetrics aggregates one node's per-slot observations. It is an
+// alias of obsv.NodeView: the live view maintained by the node's
+// obsv.Observer is the single source of truth, and Node.Metrics()
+// returns a copy of it.
+type NodeMetrics = obsv.NodeView
 
 // inflightTTL is how long an unanswered query still counts toward a
 // cell's redundancy target before other peers are asked instead. Queried
@@ -158,8 +125,9 @@ type Node struct {
 	// restarts within the same slot does not execute stale callbacks.
 	gen uint64
 
-	// Metrics for the current slot.
-	Metrics NodeMetrics
+	// obs maintains the current slot's metrics view and (optionally)
+	// traces protocol events through cfg.Recorder.
+	obs obsv.Observer
 }
 
 // NewNode creates a node bound to a transport address. rngSeed drives the
@@ -171,8 +139,13 @@ func NewNode(cfg Config, index int, table *Table, tr Transport, rngSeed int64) *
 		table: table,
 		tr:    tr,
 		rng:   rand.New(rand.NewSource(rngSeed)),
+		obs:   obsv.Observer{Rec: cfg.Recorder, Node: int32(index)},
 	}
 }
+
+// Metrics returns the node's observations for the current slot — a copy
+// of the live view the node's observer maintains.
+func (n *Node) Metrics() NodeMetrics { return n.obs.View }
 
 // SetView restricts the node's knowledge of the network. Views may be
 // static predicates (membership.ViewFunc) or evolve while the slot runs
@@ -255,12 +228,12 @@ func (n *Node) StartSlot(slot uint64) {
 	n.pendingOut = make(map[int][]wire.Cell)
 	n.flushArmed = false
 	n.awaitReply = make(map[int]time.Duration)
-	n.Metrics = NodeMetrics{}
+	n.obs.BeginSlot(slot, n.tr.Now())
 
 	// Fallback: a node the builder does not know never receives seeds and
 	// may never be queried; it still must sample.
 	n.afterGuarded(3*n.cfg.SeedWait, func() {
-		if !n.Metrics.HasSeed && !n.fetching && !n.done() {
+		if !n.obs.View.HasSeed && !n.fetching && !n.done() {
 			n.startFetch()
 		}
 	})
@@ -299,12 +272,12 @@ func (n *Node) HandleMessage(from int, size int, payload any) bool {
 	case *wire.Seed:
 		n.onSeed(m)
 	case *wire.Query:
-		n.Metrics.FetchMsgsRecv++
-		n.Metrics.FetchBytesRecv += int64(size)
+		n.obs.View.FetchMsgsRecv++
+		n.obs.View.FetchBytesRecv += int64(size)
 		n.onQuery(from, m)
 	case *wire.Response:
-		n.Metrics.FetchMsgsRecv++
-		n.Metrics.FetchBytesRecv += int64(size)
+		n.obs.View.FetchMsgsRecv++
+		n.obs.View.FetchBytesRecv += int64(size)
 		n.onResponse(from, m)
 	default:
 		return false
@@ -325,12 +298,7 @@ func (n *Node) onSeed(m *wire.Seed) {
 		n.store.SetCommitment(m.Commitment)
 	}
 	now := n.tr.Now()
-	if !n.Metrics.HasSeed {
-		n.Metrics.HasSeed = true
-		n.Metrics.FirstSeedAt = now
-	}
-	n.Metrics.SeedAt = now
-	n.Metrics.SeedCells += len(m.Cells)
+	n.obs.SeedChunk(now, len(m.Cells))
 	n.seedChunks++
 	// Watchdog for lost tail chunks: if no further seed datagram lands
 	// within the seed-wait period, fetching starts with what we have.
@@ -338,7 +306,7 @@ func (n *Node) onSeed(m *wire.Seed) {
 	// the LAST chunk received fires the fetch.
 	generation := now
 	n.afterGuarded(n.cfg.SeedWait, func() {
-		if n.Metrics.SeedAt != generation {
+		if n.obs.View.SeedAt != generation {
 			return
 		}
 		// Seed flow went quiet without completing: any promised cells
@@ -349,8 +317,8 @@ func (n *Node) onSeed(m *wire.Seed) {
 			n.startFetch()
 		}
 	})
-	dups, _ := n.addCells(m.Cells)
-	n.Metrics.SeedDuplicates += dups
+	dups, added := n.addCells(m.Cells)
+	n.obs.SeedIngested(now, added, dups)
 	for _, e := range m.Boost {
 		peer := n.table.HolderAt(e.Line, int(e.HolderRef))
 		if peer < 0 {
@@ -420,10 +388,10 @@ func (n *Node) onQuery(from int, m *wire.Query) {
 	// still start from their seed batch rather than from nothing, which
 	// keeps round-1 queries aimed at peers that already hold data (the
 	// paper's Table 1 dynamics).
-	if !n.Metrics.HasSeed && !n.fetching && !n.seedTimer {
+	if !n.obs.View.HasSeed && !n.fetching && !n.seedTimer {
 		n.seedTimer = true
 		n.afterGuarded(3*n.cfg.SeedWait, func() {
-			if !n.Metrics.HasSeed && !n.fetching && !n.done() {
+			if !n.obs.View.HasSeed && !n.fetching && !n.done() {
 				n.startFetch()
 			}
 		})
@@ -442,7 +410,7 @@ func (n *Node) onResponse(from int, m *wire.Response) {
 	}
 	// Attribute the reply to the round in which the peer was queried.
 	if r, ok := n.queryRound[from]; ok && r >= 1 && r <= len(n.roundEnds) {
-		stat := &n.Metrics.Rounds[r-1]
+		stat := &n.obs.View.Rounds[r-1]
 		inRound := n.tr.Now() <= n.roundEnds[r-1]
 		if inRound {
 			stat.RepliesInRound++
@@ -451,11 +419,21 @@ func (n *Node) onResponse(from int, m *wire.Response) {
 			stat.RepliesAfterRound++
 			stat.CellsAfterRound += len(m.Cells)
 		}
-		dups, _ := n.addCells(m.Cells)
+		dups, added := n.addCells(m.Cells)
 		stat.Duplicates += dups
+		if n.obs.Enabled() {
+			n.obs.Emit(obsv.Event{At: n.tr.Now(), Kind: obsv.KindCellsReceived,
+				Src: obsv.SrcFetch, Peer: int32(from), Round: int32(r),
+				Count: int32(added), Aux: int64(dups)})
+		}
 		return
 	}
-	n.addCells(m.Cells)
+	dups, added := n.addCells(m.Cells)
+	if n.obs.Enabled() {
+		n.obs.Emit(obsv.Event{At: n.tr.Now(), Kind: obsv.KindCellsReceived,
+			Src: obsv.SrcFetch, Peer: int32(from),
+			Count: int32(added), Aux: int64(dups)})
+	}
 }
 
 // addCells ingests a batch of cells: store them, satisfy samples, flush
@@ -499,8 +477,13 @@ func (n *Node) addCells(cells []wire.Cell) (dups, added int) {
 			n.cellLanded(c, nil)
 		}
 	}
-	if recon > 0 && n.round >= 1 && n.round <= len(n.Metrics.Rounds) {
-		n.Metrics.Rounds[n.round-1].Reconstructed += recon
+	if recon > 0 && n.round >= 1 && n.round <= len(n.obs.View.Rounds) {
+		n.obs.View.Rounds[n.round-1].Reconstructed += recon
+	}
+	if recon > 0 && n.obs.Enabled() {
+		n.obs.Emit(obsv.Event{At: n.tr.Now(), Kind: obsv.KindCellsReceived,
+			Src: obsv.SrcReconstruct, Peer: -1, Round: int32(n.round),
+			Count: int32(recon)})
 	}
 	n.armFlush()
 	n.updateCompletion()
@@ -555,21 +538,19 @@ func (n *Node) cellLanded(c wire.Cell, touched map[blob.Line]bool) {
 // updateCompletion records consolidation and sampling completion times.
 func (n *Node) updateCompletion() {
 	now := n.tr.Now()
-	if !n.Metrics.Consolidated && n.store.CompleteLines() == n.store.TrackedLines() {
-		n.Metrics.Consolidated = true
-		n.Metrics.ConsolidatedAt = now
+	if !n.obs.View.Consolidated && n.store.CompleteLines() == n.store.TrackedLines() {
+		n.obs.ConsolidationDone(now)
 	}
-	if !n.Metrics.Sampled && len(n.pendingSmp) == 0 {
-		n.Metrics.Sampled = true
-		n.Metrics.SampledAt = now
+	if !n.obs.View.Sampled && len(n.pendingSmp) == 0 {
+		n.obs.SamplingDone(now, len(n.samples))
 	}
 }
 
 func (n *Node) done() bool {
 	if n.cfg.DisableConsolidation {
-		return n.Metrics.Sampled
+		return n.obs.View.Sampled
 	}
-	return n.Metrics.Consolidated && n.Metrics.Sampled
+	return n.obs.View.Consolidated && n.obs.View.Sampled
 }
 
 // DeliverCustody ingests custody cells that arrived outside the PANDAS
@@ -595,8 +576,8 @@ func (n *Node) sendCells(to int, cells []wire.Cell) {
 		cells = cells[len(chunk):]
 		m := &wire.Response{Slot: n.slot, Cells: chunk}
 		size := m.WireSize(n.cfg.Blob.CellBytes)
-		n.Metrics.FetchMsgsSent++
-		n.Metrics.FetchBytesSent += int64(size)
+		n.obs.View.FetchMsgsSent++
+		n.obs.View.FetchBytesSent += int64(size)
 		n.tr.Send(to, size, m)
 	}
 }
@@ -605,7 +586,7 @@ func (n *Node) sendCells(to int, cells []wire.Cell) {
 // sampling share it).
 func (n *Node) startFetch() {
 	n.fetching = true
-	n.Metrics.InitialFetchSet = len(n.missingCells())
+	n.obs.View.InitialFetchSet = len(n.missingCells())
 	n.runRound()
 }
 
@@ -695,9 +676,9 @@ func (n *Node) runRound() {
 	F := n.missingCells()
 	// Record cumulative coverage for the round that just ended (also when
 	// the fetch completed during it).
-	if n.round >= 1 && n.round <= len(n.Metrics.Rounds) && n.Metrics.InitialFetchSet > 0 {
-		n.Metrics.Rounds[n.round-1].CoverageAfter =
-			1 - float64(len(F))/float64(n.Metrics.InitialFetchSet)
+	if n.round >= 1 && n.round <= len(n.obs.View.Rounds) && n.obs.View.InitialFetchSet > 0 {
+		n.obs.View.Rounds[n.round-1].CoverageAfter =
+			1 - float64(len(F))/float64(n.obs.View.InitialFetchSet)
 	}
 	if n.done() {
 		n.fetching = false
@@ -747,6 +728,11 @@ func (n *Node) runRound() {
 		n.queried = make(map[int]bool)
 		plan = n.planRound(F)
 	}
+	if n.obs.Enabled() {
+		n.obs.Emit(obsv.Event{At: n.tr.Now(), Kind: obsv.KindRoundStarted,
+			Peer: -1, Round: int32(n.round), Count: int32(len(F)),
+			Aux: int64(len(plan))})
+	}
 	for _, q := range plan {
 		peer := q.Peer
 		n.queried[peer] = true
@@ -770,13 +756,13 @@ func (n *Node) runRound() {
 			m := &wire.Query{Slot: n.slot, Cells: chunk}
 			size := m.WireSize(n.cfg.Blob.CellBytes)
 			stat.MsgsSent++
-			n.Metrics.FetchMsgsSent++
-			n.Metrics.FetchBytesSent += int64(size)
+			n.obs.View.FetchMsgsSent++
+			n.obs.View.FetchBytesSent += int64(size)
 			n.tr.Send(peer, size, m)
 		}
 	}
 	timeout := n.cfg.Schedule.Timeout(n.round)
-	n.Metrics.Rounds = append(n.Metrics.Rounds, stat)
+	n.obs.View.Rounds = append(n.obs.View.Rounds, stat)
 	n.roundEnds = append(n.roundEnds, n.tr.Now()+timeout)
 	n.afterGuarded(timeout, n.runRound)
 }
@@ -838,6 +824,15 @@ func (n *Node) planRound(F []blob.CellID) []fetch.Query {
 			scores[peer] += len(cells) * n.cfg.CBBoost
 		}
 	}
+	if n.obs.Enabled() && len(boostedCells) > 0 {
+		total := 0
+		for _, cells := range boostedCells {
+			total += len(cells)
+		}
+		n.obs.Emit(obsv.Event{At: n.tr.Now(), Kind: obsv.KindBoostPromotion,
+			Peer: -1, Round: int32(n.round), Count: int32(len(boostedCells)),
+			Aux: int64(total)})
+	}
 	scored := make([]fetch.Scored, 0, len(scores))
 	for peer, s := range scores {
 		scored = append(scored, fetch.Scored{Peer: peer, Score: s})
@@ -845,7 +840,15 @@ func (n *Node) planRound(F []blob.CellID) []fetch.Query {
 	// Deterministic candidate order under equal scores.
 	sortScoredByPeer(scored)
 	if n.liveness != nil {
-		scored = fetch.ApplyLiveness(scored, n.liveness)
+		var onSkip func(int)
+		if n.obs.Enabled() {
+			at := n.tr.Now()
+			onSkip = func(peer int) {
+				n.obs.Emit(obsv.Event{At: at, Kind: obsv.KindPeerDemoted,
+					Peer: int32(peer), Round: int32(n.round)})
+			}
+		}
+		scored = fetch.ApplyLivenessObserved(scored, n.liveness, onSkip)
 	}
 
 	// Sample cells have no CB entries; boosted peers may still cover

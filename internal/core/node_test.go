@@ -50,7 +50,7 @@ func TestNodeSeedTriggersFetch(t *testing.T) {
 	if !node.fetching {
 		t.Fatal("complete seed batch did not start fetching")
 	}
-	if !node.Metrics.HasSeed || node.Metrics.SeedCells == 0 {
+	if !node.Metrics().HasSeed || node.Metrics().SeedCells == 0 {
 		t.Fatal("seed metrics not recorded")
 	}
 	// Round 1 must have sent queries.
@@ -94,7 +94,7 @@ func TestNodeIgnoresWrongSlot(t *testing.T) {
 	node, table, tr, cfg := nodeFixture(t, 60)
 	node.StartSlot(2)
 	node.HandleMessage(99, 100, seedFor(node, table, cfg, 1, 0.5)) // stale slot
-	if node.Metrics.HasSeed {
+	if node.Metrics().HasSeed {
 		t.Fatal("accepted stale-slot seed")
 	}
 	_ = tr
@@ -255,7 +255,7 @@ func TestNodeSampleSatisfiedByResponse(t *testing.T) {
 	node, table, tr, cfg := nodeFixture(t, 60)
 	node.StartSlot(1)
 	node.HandleMessage(99, 100, seedFor(node, table, cfg, 1, 0.0)) // empty batch, starts fetch
-	if node.Metrics.Sampled {
+	if node.Metrics().Sampled {
 		t.Fatal("sampled with no data")
 	}
 	// Deliver all samples via responses.
@@ -264,10 +264,10 @@ func TestNodeSampleSatisfiedByResponse(t *testing.T) {
 		cells = append(cells, wire.Cell{ID: s})
 	}
 	node.HandleMessage(5, 100, &wire.Response{Slot: 1, Cells: cells})
-	if !node.Metrics.Sampled {
+	if !node.Metrics().Sampled {
 		t.Fatal("samples delivered but not marked sampled")
 	}
-	if node.Metrics.SampledAt != tr.now {
+	if node.Metrics().SampledAt != tr.now {
 		t.Fatal("SampledAt not recorded")
 	}
 }
@@ -279,7 +279,7 @@ func TestNodeSeedVerificationRejectsForgery(t *testing.T) {
 	node.StartSlot(1)
 	m := seedFor(node, table, cfg, 1, 0.3) // zero signature = forged
 	node.HandleMessage(99, 100, m)
-	if node.Metrics.HasSeed {
+	if node.Metrics().HasSeed {
 		t.Fatal("unsigned seed accepted")
 	}
 	// Properly signed seed is accepted.
@@ -288,7 +288,7 @@ func TestNodeSeedVerificationRejectsForgery(t *testing.T) {
 	m2.Builder = builderID
 	copy(m2.ProposerSig[:], proposer.Sign(wire.SeedSigningBytes(1, builderID)))
 	node.HandleMessage(99, 100, m2)
-	if !node.Metrics.HasSeed {
+	if !node.Metrics().HasSeed {
 		t.Fatal("valid seed rejected")
 	}
 	_ = tr
@@ -301,7 +301,7 @@ func TestNodeFallbackTimerStartsFetchWithoutSeeds(t *testing.T) {
 	if !node.fetching {
 		t.Fatal("fallback timer did not start fetching")
 	}
-	if node.Metrics.HasSeed {
+	if node.Metrics().HasSeed {
 		t.Fatal("HasSeed without seeds")
 	}
 }

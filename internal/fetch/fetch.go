@@ -213,12 +213,22 @@ type Liveness interface {
 // eligible as a last resort). The slice is filtered in place. A nil
 // liveness returns the input unchanged.
 func ApplyLiveness(scored []Scored, l Liveness) []Scored {
+	return ApplyLivenessObserved(scored, l, nil)
+}
+
+// ApplyLivenessObserved is ApplyLiveness with a drop observer: onSkip is
+// invoked for every peer filtered out by its backoff (the observability
+// layer traces these as peer-demoted events). A nil onSkip is ignored.
+func ApplyLivenessObserved(scored []Scored, l Liveness, onSkip func(peer int)) []Scored {
 	if l == nil {
 		return scored
 	}
 	out := scored[:0]
 	for _, s := range scored {
 		if !l.Queryable(s.Peer) {
+			if onSkip != nil {
+				onSkip(s.Peer)
+			}
 			continue
 		}
 		if p := l.Penalty(s.Peer); p > 0 {

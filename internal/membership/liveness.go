@@ -1,6 +1,10 @@
 package membership
 
-import "time"
+import (
+	"time"
+
+	"pandas/internal/obsv"
+)
 
 // Scorer defaults.
 const (
@@ -60,6 +64,11 @@ type Scorer struct {
 	cfg   ScorerConfig
 	now   func() time.Duration
 	state map[int]*peerScore
+
+	// Tracing (nil rec disables it; see obsv.Recorder).
+	rec  obsv.Recorder
+	node int32
+	slot uint64
 }
 
 // NewScorer creates a scorer reading time from now (the simulation
@@ -67,6 +76,18 @@ type Scorer struct {
 func NewScorer(cfg ScorerConfig, now func() time.Duration) *Scorer {
 	return &Scorer{cfg: cfg.withDefaults(), now: now, state: make(map[int]*peerScore)}
 }
+
+// SetRecorder installs event tracing for liveness transitions: node is
+// the owning node's index, stamped into every event. Pass nil to
+// disable.
+func (s *Scorer) SetRecorder(rec obsv.Recorder, node int) {
+	s.rec = rec
+	s.node = int32(node)
+}
+
+// SetSlot updates the slot stamped into traced events (liveness state
+// persists across slots, so the owner bumps this each slot).
+func (s *Scorer) SetSlot(slot uint64) { s.slot = slot }
 
 // ReportTimeout records that a query to the peer went unanswered,
 // doubling its backoff.
@@ -85,10 +106,27 @@ func (s *Scorer) ReportTimeout(peer int) {
 		back = s.cfg.MaxBackoff
 	}
 	st.backoffUntil = s.now() + back
+	if s.rec != nil {
+		s.rec.Record(obsv.Event{At: s.now(), Slot: s.slot,
+			Kind: obsv.KindPeerTimeout, Node: s.node, Peer: int32(peer),
+			Count: int32(st.failures), Aux: int64(back)})
+	}
 }
 
 // ReportSuccess marks the peer healthy, clearing failures and backoff.
-func (s *Scorer) ReportSuccess(peer int) { delete(s.state, peer) }
+func (s *Scorer) ReportSuccess(peer int) {
+	st := s.state[peer]
+	if st == nil {
+		return
+	}
+	delete(s.state, peer)
+	// Only an actual transition (failures recorded) is worth tracing.
+	if s.rec != nil && st.failures > 0 {
+		s.rec.Record(obsv.Event{At: s.now(), Slot: s.slot,
+			Kind: obsv.KindPeerRecovered, Node: s.node, Peer: int32(peer),
+			Count: int32(st.failures)})
+	}
+}
 
 // Queryable reports whether the peer may be queried now (false while in
 // timeout backoff). Implements fetch.Liveness.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"pandas/internal/dht"
+	"pandas/internal/obsv"
 )
 
 // Refresher keeps one node's LiveView fresh by periodically crawling the
@@ -30,6 +31,10 @@ type Refresher struct {
 	// onFound, when set, observes every completed crawl's entries (the
 	// cluster uses it to feed routing-table bookkeeping).
 	onFound func([]dht.Entry)
+	// Tracing (nil rec disables it).
+	rec  obsv.Recorder
+	node int32
+	slot uint64
 }
 
 // NewRefresher creates a refresher for one node. Interval and fanout of
@@ -54,6 +59,17 @@ func NewRefresher(peer *dht.Peer, view *LiveView, clock Clock, interval time.Dur
 
 // SetOnFound installs a crawl-result observer.
 func (r *Refresher) SetOnFound(fn func([]dht.Entry)) { r.onFound = fn }
+
+// SetRecorder installs event tracing for completed crawls: node is the
+// owning node's index, stamped into every event. Pass nil to disable.
+func (r *Refresher) SetRecorder(rec obsv.Recorder, node int) {
+	r.rec = rec
+	r.node = int32(node)
+}
+
+// SetSlot updates the slot stamped into traced events (the refresh loop
+// outlives slot boundaries, so the owner bumps this each slot).
+func (r *Refresher) SetSlot(slot uint64) { r.slot = slot }
 
 // Crawls returns the number of crawls issued so far.
 func (r *Refresher) Crawls() int { return r.crawls }
@@ -83,9 +99,15 @@ func (r *Refresher) RefreshNow() {
 	// Vary targets per crawl so successive refreshes probe different
 	// regions of the ID space.
 	crawlSeed := r.seed + int64(r.crawls)*1_000_003
+	crawlNum := r.crawls
 	r.peer.Crawl(r.fanout, crawlSeed, func(found []dht.Entry) {
 		for _, e := range found {
 			r.view.Add(e.Addr)
+		}
+		if r.rec != nil {
+			r.rec.Record(obsv.Event{At: r.clock.Now(), Slot: r.slot,
+				Kind: obsv.KindViewRefresh, Node: r.node, Peer: -1,
+				Count: int32(len(found)), Aux: int64(crawlNum)})
 		}
 		if r.onFound != nil {
 			r.onFound(found)

@@ -1,0 +1,135 @@
+package obsv
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("msgs_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if reg.Counter("msgs_total") != c {
+		t.Fatal("Counter lookup returned a different handle")
+	}
+
+	g := reg.Gauge("queue_depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	if reg.Gauge("queue_depth") != g {
+		t.Fatal("Gauge lookup returned a different handle")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{1, 2})
+	for _, v := range []float64{0.5, 1.0, 1.5, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 8 {
+		t.Fatalf("Sum = %g, want 8", got)
+	}
+	s := reg.Snapshot().Histograms["lat"]
+	// SearchFloat64s: v <= bound lands in that bucket (0.5 and 1.0 in
+	// le=1; 1.5 in le=2; 5 in +Inf).
+	want := []int64{2, 1, 1}
+	for i, w := range want {
+		if s.Buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Buckets[i], w)
+		}
+	}
+}
+
+func TestSnapshotDetached(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Inc()
+	reg.Gauge("g").Set(1)
+	reg.Histogram("h", []float64{1}).Observe(0.5)
+
+	snap := reg.Snapshot()
+	reg.Counter("c").Add(10)
+	reg.Gauge("g").Set(99)
+	reg.Histogram("h", nil).Observe(0.5)
+
+	if snap.Counters["c"] != 1 {
+		t.Errorf("snapshot counter = %d, want 1 (detached)", snap.Counters["c"])
+	}
+	if snap.Gauges["g"] != 1 {
+		t.Errorf("snapshot gauge = %d, want 1 (detached)", snap.Gauges["g"])
+	}
+	if snap.Histograms["h"].Count != 1 {
+		t.Errorf("snapshot histogram count = %d, want 1 (detached)", snap.Histograms["h"].Count)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total").Add(3)
+	reg.Counter("a_total").Add(1)
+	reg.Gauge("depth").Set(-2)
+	h := reg.Histogram("lat_seconds", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE a_total counter
+a_total 1
+# TYPE b_total counter
+b_total 3
+# TYPE depth gauge
+depth -2
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.5"} 1
+lat_seconds_bucket{le="1"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 3
+lat_seconds_count 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("Prometheus exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				reg.Counter("shared_total").Inc()
+				reg.Gauge("shared_gauge").Add(1)
+				reg.Histogram("shared_hist", []float64{10, 100}).Observe(float64(i))
+				_ = reg.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s := reg.Snapshot()
+	if s.Counters["shared_total"] != 8000 {
+		t.Errorf("counter = %d, want 8000", s.Counters["shared_total"])
+	}
+	if s.Gauges["shared_gauge"] != 8000 {
+		t.Errorf("gauge = %d, want 8000", s.Gauges["shared_gauge"])
+	}
+	if s.Histograms["shared_hist"].Count != 8000 {
+		t.Errorf("histogram count = %d, want 8000", s.Histograms["shared_hist"].Count)
+	}
+}

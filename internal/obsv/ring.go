@@ -1,0 +1,97 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// DefaultRingSize is the trace capacity used when a caller does not pick
+// one: 64Ki events is ~4 slots of a 1000-node simulated run.
+const DefaultRingSize = 1 << 16
+
+// Ring is a lock-free, fixed-capacity Recorder. Producers claim a slot
+// with one atomic increment and publish a private copy of the event with
+// one atomic pointer store; when the ring wraps, the oldest events are
+// overwritten. Reads (Events, Snapshot consumers) may run concurrently
+// with writers and always observe fully published events — a slot is
+// either nil, the old event, or the new one, never a torn mix.
+type Ring struct {
+	next  atomic.Uint64 // ticket counter: total events recorded
+	mask  uint64
+	slots []atomic.Pointer[Event]
+}
+
+// NewRing returns a Ring holding the most recent capacity events.
+// Capacity is rounded up to a power of two; it must be at least 1.
+func NewRing(capacity int) (*Ring, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("obsv: ring capacity %d < 1", capacity)
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &Ring{
+		mask:  uint64(size - 1),
+		slots: make([]atomic.Pointer[Event], size),
+	}, nil
+}
+
+// MustRing is NewRing for known-good capacities; it panics on error.
+func MustRing(capacity int) *Ring {
+	r, err := NewRing(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Cap returns the ring's capacity (a power of two).
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Record implements Recorder. Safe for concurrent producers. The enabled
+// path costs one atomic add, one heap copy of the event, and one atomic
+// store; a published event is never mutated afterwards.
+func (r *Ring) Record(e Event) {
+	seq := r.next.Add(1) - 1
+	e.Seq = seq
+	r.slots[seq&r.mask].Store(&e)
+}
+
+// Recorded returns the total number of events recorded, including any
+// that have since been overwritten.
+func (r *Ring) Recorded() uint64 { return r.next.Load() }
+
+// Overwritten returns how many events have been lost to wrap-around.
+func (r *Ring) Overwritten() uint64 {
+	n := r.next.Load()
+	if c := uint64(len(r.slots)); n > c {
+		return n - c
+	}
+	return 0
+}
+
+// Events returns the retained events in sequence order. It is safe to
+// call while producers are recording: each returned event is a fully
+// published copy. Events racing with wrap-around may be skipped, so the
+// result can be shorter than Cap even on a full ring.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		if p := r.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Reset discards all retained events and restarts sequence numbering.
+// It must not race with concurrent Record calls.
+func (r *Ring) Reset() {
+	r.next.Store(0)
+	for i := range r.slots {
+		r.slots[i].Store(nil)
+	}
+}

@@ -1,0 +1,130 @@
+package obsv
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// traceFixture is a two-node slot: node 0 completes every phase, node 1
+// never samples. Events are deliberately out of order — reconstruction
+// must not depend on it.
+func traceFixture() []Event {
+	return []Event{
+		{Seq: 9, At: ms(900), Slot: 1, Kind: KindSampleVerdict, Node: 0, Count: 6, Aux: 1},
+		{Seq: 0, At: ms(100), Slot: 1, Kind: KindSlotStart, Node: 0},
+		{Seq: 1, At: ms(100), Slot: 1, Kind: KindSlotStart, Node: 1},
+		{Seq: 2, At: ms(250), Slot: 1, Kind: KindCellsReceived, Src: SrcSeed, Node: 0, Count: 64, Aux: 2},
+		{Seq: 3, At: ms(260), Slot: 1, Kind: KindCellsReceived, Src: SrcSeed, Node: 1, Count: 32},
+		{Seq: 4, At: ms(300), Slot: 1, Kind: KindRoundStarted, Node: 1, Round: 1, Count: 10},
+		{Seq: 5, At: ms(350), Slot: 1, Kind: KindCellsReceived, Src: SrcFetch, Node: 1, Peer: 0, Round: 1, Count: 8},
+		{Seq: 6, At: ms(400), Slot: 1, Kind: KindCellsReceived, Src: SrcReconstruct, Node: 1, Count: 4},
+		{Seq: 7, At: ms(500), Slot: 1, Kind: KindPeerTimeout, Node: 1, Peer: 3, Count: 1},
+		{Seq: 8, At: ms(600), Slot: 1, Kind: KindConsolidated, Node: 0},
+	}
+}
+
+func TestTimelineReconstruction(t *testing.T) {
+	tl := NewTimeline(traceFixture())
+	st := tl.Slot(1)
+	if st == nil {
+		t.Fatal("slot 1 missing")
+	}
+	if st.Start != ms(100) {
+		t.Fatalf("Start = %v, want 100ms", st.Start)
+	}
+
+	n0 := st.Node(0)
+	if n0.FirstSeedAt != ms(250) || n0.ConsolidatedAt != ms(600) || n0.SampledAt != ms(900) {
+		t.Fatalf("node 0 times: %+v", n0)
+	}
+	if n0.CellsSeed != 64 {
+		t.Errorf("node 0 CellsSeed = %d, want 64", n0.CellsSeed)
+	}
+
+	n1 := st.Node(1)
+	if n1.SampledAt != -1 || n1.ConsolidatedAt != -1 {
+		t.Fatalf("node 1 should be incomplete: %+v", n1)
+	}
+	if n1.Rounds != 1 || n1.Timeouts != 1 {
+		t.Errorf("node 1 rounds/timeouts = %d/%d, want 1/1", n1.Rounds, n1.Timeouts)
+	}
+	if n1.CellsSeed != 32 || n1.CellsFetch != 8 || n1.CellsRecon != 4 {
+		t.Errorf("node 1 cell split = %d/%d/%d, want 32/8/4",
+			n1.CellsSeed, n1.CellsFetch, n1.CellsRecon)
+	}
+
+	got := st.Durations(PhaseSampling, nil)
+	want := []time.Duration{ms(800), -1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Durations(sampling) = %v, want %v", got, want)
+	}
+	got = st.Durations(PhaseSeed, nil)
+	want = []time.Duration{ms(150), ms(160)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Durations(seed) = %v, want %v", got, want)
+	}
+	got = st.Durations(PhaseConsolidation, func(node int) bool { return node == 0 })
+	want = []time.Duration{ms(500)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Durations(consolidation, node 0 only) = %v, want %v", got, want)
+	}
+}
+
+func TestTimelineMultiSlot(t *testing.T) {
+	events := []Event{
+		{At: ms(0), Slot: 1, Kind: KindSlotStart, Node: 0},
+		{At: ms(12000), Slot: 2, Kind: KindSlotStart, Node: 0},
+		{At: ms(12500), Slot: 2, Kind: KindSampleVerdict, Node: 0, Aux: 1},
+	}
+	tl := NewTimeline(events)
+	slots := tl.Slots()
+	if len(slots) != 2 || slots[0].Slot != 1 || slots[1].Slot != 2 {
+		t.Fatalf("Slots() = %v", slots)
+	}
+	if d := slots[1].Durations(PhaseSampling, nil); len(d) != 1 || d[0] != ms(500) {
+		t.Fatalf("slot 2 sampling durations = %v, want [500ms]", d)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := traceFixture()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", in, out)
+	}
+}
+
+func TestReadJSONLSkipsBlankLines(t *testing.T) {
+	src := "\n" + `{"seq":0,"at":1000000,"slot":1,"kind":1,"node":0,"peer":-1}` + "\n\n"
+	out, err := ReadJSONL(bytes.NewBufferString(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Kind != KindSlotStart || out[0].Peer != -1 {
+		t.Fatalf("parsed %+v", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindSlotStart; k <= KindDHTMsg; k++ {
+		if s := k.String(); s == "" || s[0] == 'K' {
+			t.Errorf("Kind(%d).String() = %q", k, s)
+		}
+	}
+	for _, op := range []ChurnOp{ChurnJoin, ChurnRestart, ChurnLeave, ChurnCrash} {
+		if s := op.String(); s == "" || s[0] == 'C' {
+			t.Errorf("%d.String() = %q", op, s)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"pandas/internal/obsv"
 )
 
 // Common bandwidth figures (bits per second) from the paper's testbed.
@@ -75,6 +77,13 @@ type Network struct {
 	cfg     Config
 	nodes   []nodeState
 	dropped int
+
+	// Registry metric handles (nil without SetMetrics): looked up once so
+	// the per-message cost is a nil check plus an atomic add.
+	mDelivered *obsv.Counter
+	mDropped   *obsv.Counter
+	mBytes     *obsv.Counter
+	mQueue     *obsv.Gauge
 }
 
 type nodeState struct {
@@ -163,6 +172,21 @@ func (n *Network) ResetStats() {
 // Dropped returns the total number of messages lost in transit.
 func (n *Network) Dropped() int { return n.dropped }
 
+// SetMetrics publishes the network's counters into an obsv registry:
+// simnet_delivered_total, simnet_dropped_total, simnet_bytes_total, and
+// the simnet_queue_depth gauge (event-queue depth sampled at each
+// delivery). Pass nil to stop updating.
+func (n *Network) SetMetrics(reg *obsv.Registry) {
+	if reg == nil {
+		n.mDelivered, n.mDropped, n.mBytes, n.mQueue = nil, nil, nil, nil
+		return
+	}
+	n.mDelivered = reg.Counter("simnet_delivered_total")
+	n.mDropped = reg.Counter("simnet_dropped_total")
+	n.mBytes = reg.Counter("simnet_bytes_total")
+	n.mQueue = reg.Gauge("simnet_queue_depth")
+}
+
 // Send transmits size bytes of payload from one node to another. The
 // message occupies the sender's uplink (store-and-forward), propagates
 // with the model's delay, then occupies the receiver's downlink. It may
@@ -203,6 +227,9 @@ func (n *Network) send(from, to, size int, payload any, lossy bool) {
 	if lossy && n.cfg.LossRate > 0 && n.engine.rng.Float64() < n.cfg.LossRate {
 		sender.stats.MsgsLost++
 		n.dropped++
+		if n.mDropped != nil {
+			n.mDropped.Inc()
+		}
 		return
 	}
 
@@ -223,6 +250,11 @@ func (n *Network) send(from, to, size int, payload any, lossy bool) {
 		n.engine.At(rxStart+rxTime, func() {
 			recv.stats.MsgsRecv++
 			recv.stats.BytesRecv += int64(size)
+			if n.mDelivered != nil {
+				n.mDelivered.Inc()
+				n.mBytes.Add(int64(size))
+				n.mQueue.Set(int64(n.engine.Pending()))
+			}
 			if recv.dead || recv.handler == nil {
 				return
 			}

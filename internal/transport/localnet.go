@@ -154,7 +154,7 @@ func (ln *Localnet) allSampled() bool {
 	done := make(chan bool, len(ln.Nodes))
 	for i, node := range ln.Nodes {
 		node := node
-		ln.endpoints[i].Run(func() { done <- node.Metrics.Sampled })
+		ln.endpoints[i].Run(func() { done <- node.Metrics().Sampled })
 	}
 	for range ln.Nodes {
 		if !<-done {
@@ -174,9 +174,9 @@ func (ln *Localnet) collect(begin time.Time) []time.Duration {
 		i, node := i, node
 		ln.endpoints[i].Run(func() {
 			d := time.Duration(-1)
-			if node.Metrics.Sampled {
+			if node.Metrics().Sampled {
 				// Node clocks are per-endpoint; convert via wall time.
-				d = time.Since(begin) - (node.Transport().Now() - node.Metrics.SampledAt)
+				d = time.Since(begin) - (node.Transport().Now() - node.Metrics().SampledAt)
 			}
 			ch <- sample{i: i, d: d}
 		})

@@ -8,6 +8,7 @@ import (
 	"pandas/internal/core"
 	"pandas/internal/fetch"
 	"pandas/internal/latency"
+	"pandas/internal/obsv"
 	"pandas/internal/simnet"
 	"pandas/internal/transport"
 )
@@ -44,6 +45,29 @@ type (
 	CellID = blob.CellID
 	// LatencyModel yields one-way propagation delays for the simulator.
 	LatencyModel = simnet.LatencyModel
+)
+
+// Observability types, re-exported from the obsv layer.
+type (
+	// Recorder receives protocol trace events; install one via
+	// WithRecorder. A nil recorder (the default) disables tracing at the
+	// cost of a single nil check per emission site.
+	Recorder = obsv.Recorder
+	// Event is one typed, slot-scoped trace observation (seed sent,
+	// cells received, round started, peer timeout, sample verdict, view
+	// refresh, churn event, ...).
+	Event = obsv.Event
+	// TraceRing is the lock-free ring-buffer Recorder retaining the most
+	// recent events.
+	TraceRing = obsv.Ring
+	// StatsRegistry is the counters/gauges/histograms registry; its
+	// Snapshot can be rendered as Prometheus text exposition.
+	StatsRegistry = obsv.Registry
+	// Snapshot is a point-in-time, read-only copy of a StatsRegistry.
+	Snapshot = obsv.Snapshot
+	// Timeline reconstructs per-slot, per-node phase timings from a
+	// recorded trace — the series the paper's CDFs aggregate.
+	Timeline = obsv.Timeline
 )
 
 // Seeding policies (Section 6.1 of the paper).
@@ -117,3 +141,33 @@ func SamplesForConfidence(n int, target float64) int {
 func MeetsDeadline(samplingTime time.Duration) bool {
 	return samplingTime >= 0 && samplingTime <= AttestationDeadline
 }
+
+// WithRecorder returns a copy of cfg with trace recording enabled:
+// every protocol layer (builder seeding, node fetch/sample paths,
+// liveness transitions, churn) records events into rec. Pass nil to
+// disable tracing.
+func WithRecorder(cfg Config, rec Recorder) Config {
+	cfg.Recorder = rec
+	return cfg
+}
+
+// WithMetrics returns a copy of cfg with registry metrics enabled:
+// deployments update counters and gauges (message counts, queue depth)
+// in reg. Pass nil to disable.
+func WithMetrics(cfg Config, reg *StatsRegistry) Config {
+	cfg.Metrics = reg
+	return cfg
+}
+
+// NewTraceRing returns a lock-free ring-buffer Recorder holding the most
+// recent capacity events (rounded up to a power of two). Use the
+// Config.TraceRing default via DefaultConfig, or pick a size; capacity
+// must be at least 1.
+func NewTraceRing(capacity int) (*TraceRing, error) { return obsv.NewRing(capacity) }
+
+// NewStatsRegistry returns an empty counters/gauges/histograms registry.
+func NewStatsRegistry() *StatsRegistry { return obsv.NewRegistry() }
+
+// NewTimeline reconstructs per-slot, per-node timelines from a recorded
+// (or JSONL-loaded) trace.
+func NewTimeline(events []Event) *Timeline { return obsv.NewTimeline(events) }

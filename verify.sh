@@ -14,8 +14,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (membership, core, fetch, blob, rs, gf65536)"
+echo "== go test -race (membership, core, fetch, blob, rs, gf65536, obsv)"
 go test -race ./internal/membership ./internal/core ./internal/fetch \
-	./internal/blob ./internal/rs ./internal/gf65536
+	./internal/blob ./internal/rs ./internal/gf65536 ./internal/obsv
 
 echo "verify: OK"
