@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pandas/internal/adversary"
 	"pandas/internal/core"
 	"pandas/internal/experiments"
 	"pandas/internal/metrics"
@@ -40,7 +41,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("pandas-sim", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "", "experiment: fig9 fig10 table1 fig11 fig12 fig13 fig14 fig15a fig15b churn ablation validate confidence")
+		exp    = fs.String("exp", "", "experiment: fig9 fig10 table1 fig11 fig12 fig13 fig14 fig15a fig15b churn ablation validate confidence adversary withholding byzantine")
 		nodes  = fs.Int("nodes", 1000, "network size")
 		slots  = fs.Int("slots", 10, "slots to aggregate")
 		seed   = fs.Int64("seed", 1, "random seed")
@@ -50,7 +51,8 @@ func run(args []string) error {
 		rates  = fs.String("rates", "", "comma-separated churn rates (departures/node/slot) for churn (default 0,0.05,0.1,0.2,0.4)")
 		list   = fs.Bool("list", false, "list experiments and exit")
 		csvDir = fs.String("csv", "", "also write sampling CDF CSVs into this directory (fig9/fig11/fig12)")
-		trials = fs.Int("trials", 20000, "Monte Carlo trials for confidence")
+		trials = fs.Int("trials", 20000, "Monte Carlo trials for confidence/adversary")
+		behav  = fs.String("behavior", "silent", "byzantine behavior for adversary: silent laggard garbage")
 		trace  = fs.String("trace", "", "record a protocol event trace and write it to this JSONL file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -70,7 +72,10 @@ func run(args []string) error {
   churn       dynamic membership: churn rate vs sampling-deadline success
   ablation    builder seeding-redundancy sweep (design knob, paper 9)
   validate    metadata vs real data plane cross-validation (8.2)
-  confidence  sampling false-positive analysis (Section 3)`)
+  confidence  sampling false-positive analysis (Section 3)
+  adversary   withholding detection + byzantine-fraction sweep (threat model)
+  withholding withholding-detection table only (cluster vs Monte Carlo)
+  byzantine   byzantine-fraction sweep only (-behavior, -fractions)`)
 		return nil
 	}
 	o := experiments.Options{Nodes: *nodes, Slots: *slots, Seed: *seed, LossRate: -0}
@@ -124,6 +129,23 @@ func run(args []string) error {
 		res, err = experiments.Ablation(o, parseSizes(*sizes))
 	case "confidence":
 		res = experiments.Confidence(o.Core.Blob.N(), nil, *trials, *seed)
+	case "adversary", "withholding", "byzantine":
+		b, ok := map[string]adversary.Behavior{
+			"silent":  adversary.Silent,
+			"laggard": adversary.Laggard,
+			"garbage": adversary.Garbage,
+		}[*behav]
+		if !ok {
+			return fmt.Errorf("-behavior: unknown behavior %q (silent, laggard, garbage)", *behav)
+		}
+		switch *exp {
+		case "withholding":
+			res, err = experiments.Withholding(o, nil, *trials)
+		case "byzantine":
+			res, err = experiments.Byzantine(o, b, parseFracs(*fracs))
+		default:
+			res, err = experiments.Adversary(o, b, parseFracs(*fracs), *trials)
+		}
 	case "":
 		return fmt.Errorf("missing -exp (use -list to enumerate)")
 	default:

@@ -1,0 +1,356 @@
+package adversary
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"pandas/internal/blob"
+	"pandas/internal/wire"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  *Config
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"zero", &Config{}, true},
+		{"silent", &Config{SilentFraction: 0.2}, true},
+		{"all behaviors", &Config{SilentFraction: 0.2, LaggardFraction: 0.2, GarbageFraction: 0.2, PoisonFraction: 0.2}, true},
+		{"fraction out of range", &Config{SilentFraction: 1.5}, false},
+		{"negative fraction", &Config{GarbageFraction: -0.1}, false},
+		{"fractions sum over 1", &Config{SilentFraction: 0.6, LaggardFraction: 0.6}, false},
+		{"lag inverted", &Config{LagMin: time.Second, LagMax: time.Millisecond}, false},
+		{"maximal withholding", &Config{Builder: BuilderAttack{Withholding: WithholdMaximal}}, true},
+		{"random withholding no fraction", &Config{Builder: BuilderAttack{Withholding: WithholdRandom}}, false},
+		{"random withholding", &Config{Builder: BuilderAttack{Withholding: WithholdRandom, WithholdFraction: 0.3}}, true},
+		{"rows without lines", &Config{Builder: BuilderAttack{Withholding: WithholdRows}}, false},
+		{"rows", &Config{Builder: BuilderAttack{Withholding: WithholdRows, WithholdLines: 4}}, true},
+		{"unknown pattern", &Config{Builder: BuilderAttack{Withholding: Pattern(99)}}, false},
+		{"crash", &Config{Builder: BuilderAttack{CrashAfterFraction: 0.5}}, true},
+		{"crash out of range", &Config{Builder: BuilderAttack{CrashAfterFraction: 1.5}}, false},
+		{"partition", &Config{Faults: []Fault{{Kind: FaultPartition, At: time.Second, Duration: time.Second, Fraction: 0.3}}}, true},
+		{"partition bad fraction", &Config{Faults: []Fault{{Kind: FaultPartition, At: time.Second, Duration: time.Second, Fraction: 1.0}}}, false},
+		{"loss burst", &Config{Faults: []Fault{{Kind: FaultLossBurst, Duration: time.Second, LossRate: 0.5}}}, true},
+		{"loss burst bad rate", &Config{Faults: []Fault{{Kind: FaultLossBurst, Duration: time.Second, LossRate: 0}}}, false},
+		{"fault unknown kind", &Config{Faults: []Fault{{Duration: time.Second}}}, false},
+		{"fault zero duration", &Config{Faults: []Fault{{Kind: FaultPartition, Fraction: 0.3}}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+		}
+	}
+}
+
+func TestActive(t *testing.T) {
+	var nilCfg *Config
+	if nilCfg.Active() {
+		t.Error("nil config reported active")
+	}
+	if (&Config{}).Active() {
+		t.Error("zero config reported active")
+	}
+	active := []*Config{
+		{SilentFraction: 0.1},
+		{Builder: BuilderAttack{Withholding: WithholdMaximal}},
+		{Builder: BuilderAttack{SeedDelay: time.Second}},
+		{Builder: BuilderAttack{SeedFraction: 0.5}},
+		{Builder: BuilderAttack{CrashAfterFraction: 0.5}},
+		{Faults: []Fault{{Kind: FaultPartition, Duration: time.Second, Fraction: 0.3}}},
+	}
+	for i, c := range active {
+		if !c.Active() {
+			t.Errorf("case %d: config not reported active", i)
+		}
+	}
+}
+
+func TestSortitionDeterministic(t *testing.T) {
+	cfg := &Config{SilentFraction: 0.2, LaggardFraction: 0.1, GarbageFraction: 0.1, PoisonFraction: 0.05}
+	a := cfg.Sortition(42, 200)
+	b := cfg.Sortition(42, 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sortition is not deterministic for a fixed seed")
+	}
+	c := cfg.Sortition(43, 200)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("sortition ignored the seed")
+	}
+}
+
+func TestSortitionCounts(t *testing.T) {
+	cfg := &Config{SilentFraction: 0.2, LaggardFraction: 0.1, GarbageFraction: 0.1, PoisonFraction: 0.05}
+	n := 200
+	got := map[Behavior]int{}
+	for _, b := range cfg.Sortition(7, n) {
+		got[b]++
+	}
+	want := map[Behavior]int{Silent: 40, Laggard: 20, Garbage: 20, Poisoner: 10, Honest: 110}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sortition counts = %v, want %v", got, want)
+	}
+}
+
+func TestSortitionNil(t *testing.T) {
+	var cfg *Config
+	for _, b := range cfg.Sortition(1, 50) {
+		if b != Honest {
+			t.Fatal("nil config sortitioned a non-honest node")
+		}
+	}
+}
+
+func TestWithholdMaximalMatchesBlob(t *testing.T) {
+	n := 32
+	pred := BuilderAttack{Withholding: WithholdMaximal}.WithholdPredicate(n, 1)
+	available := blob.MaximalWithholding(n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			id := blob.CellID{Row: uint16(r), Col: uint16(c)}
+			if pred(id) == available.Has(id) {
+				t.Fatalf("cell %v: predicate and blob.MaximalWithholding disagree", id)
+			}
+		}
+	}
+	if got, want := WithheldCount(n, pred), blob.WithheldCells(n); got != want {
+		t.Fatalf("withheld %d cells, want %d", got, want)
+	}
+}
+
+func TestWithholdRandomFraction(t *testing.T) {
+	n := 64
+	f := 0.3
+	pred := BuilderAttack{Withholding: WithholdRandom, WithholdFraction: f}.WithholdPredicate(n, 5)
+	got := float64(WithheldCount(n, pred)) / float64(n*n)
+	if got < f-0.05 || got > f+0.05 {
+		t.Fatalf("random withholding hit rate %.3f, want ~%.2f", got, f)
+	}
+	// Deterministic per seed.
+	pred2 := BuilderAttack{Withholding: WithholdRandom, WithholdFraction: f}.WithholdPredicate(n, 5)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			id := blob.CellID{Row: uint16(r), Col: uint16(c)}
+			if pred(id) != pred2(id) {
+				t.Fatal("random predicate not deterministic per seed")
+			}
+		}
+	}
+}
+
+func TestWithholdLines(t *testing.T) {
+	n := 32
+	for _, rows := range []bool{true, false} {
+		pattern := WithholdCols
+		if rows {
+			pattern = WithholdRows
+		}
+		pred := BuilderAttack{Withholding: pattern, WithholdLines: 3}.WithholdPredicate(n, 9)
+		if got, want := WithheldCount(n, pred), 3*n; got != want {
+			t.Fatalf("rows=%v: withheld %d cells, want %d", rows, got, want)
+		}
+		// Whole lines: every withheld cell's line is fully withheld.
+		for r := 0; r < n; r++ {
+			line := 0
+			for c := 0; c < n; c++ {
+				id := blob.CellID{Row: uint16(r), Col: uint16(c)}
+				if rows && pred(id) {
+					line++
+				}
+				if !rows && pred(blob.CellID{Row: uint16(c), Col: uint16(r)}) {
+					line++
+				}
+			}
+			if line != 0 && line != n {
+				t.Fatalf("rows=%v: line %d partially withheld (%d cells)", rows, r, line)
+			}
+		}
+	}
+}
+
+func TestWithholdNone(t *testing.T) {
+	if pred := (BuilderAttack{}).WithholdPredicate(32, 1); pred != nil {
+		t.Fatal("WithholdNone should yield a nil predicate")
+	}
+	if WithheldCount(32, nil) != 0 {
+		t.Fatal("nil predicate should count zero withheld cells")
+	}
+}
+
+func TestSeedTargets(t *testing.T) {
+	if SeedTargets(1, 100, 0) != nil || SeedTargets(1, 100, 1) != nil {
+		t.Fatal("non-restricting fractions should return nil (everyone)")
+	}
+	tg := SeedTargets(1, 100, 0.4)
+	if len(tg) != 40 {
+		t.Fatalf("got %d targets, want 40", len(tg))
+	}
+	if !reflect.DeepEqual(tg, SeedTargets(1, 100, 0.4)) {
+		t.Fatal("seed targets not deterministic")
+	}
+}
+
+// fakeTransport records sends and timers for policy tests.
+type fakeTransport struct {
+	sent   []any
+	sentTo []int
+	timers []struct {
+		d  time.Duration
+		fn func()
+	}
+}
+
+func (f *fakeTransport) Send(to int, size int, payload any) {
+	f.sent = append(f.sent, payload)
+	f.sentTo = append(f.sentTo, to)
+}
+func (f *fakeTransport) SendReliable(to int, size int, payload any) { f.Send(to, size, payload) }
+func (f *fakeTransport) After(d time.Duration, fn func()) {
+	f.timers = append(f.timers, struct {
+		d  time.Duration
+		fn func()
+	}{d, fn})
+}
+func (f *fakeTransport) Now() time.Duration { return 0 }
+
+func resp() *wire.Response {
+	return &wire.Response{Slot: 1, Cells: []wire.Cell{
+		{ID: blob.CellID{Row: 1, Col: 2}, Data: []byte{0xAA, 0xBB}},
+		{ID: blob.CellID{Row: 3, Col: 4}},
+	}}
+}
+
+func TestHonestWrapIsIdentity(t *testing.T) {
+	tr := &fakeTransport{}
+	cfg := &Config{}
+	for _, b := range []Behavior{Honest, Poisoner} {
+		a := NewAgent(0, b, 1, cfg)
+		if a.WrapTransport(tr) != Transport(tr) {
+			t.Fatalf("%v agent should not wrap the transport", b)
+		}
+	}
+	var nilAgent *Agent
+	if nilAgent.WrapTransport(tr) != Transport(tr) {
+		t.Fatal("nil agent should not wrap the transport")
+	}
+}
+
+func TestSilentDropsResponses(t *testing.T) {
+	tr := &fakeTransport{}
+	a := NewAgent(0, Silent, 1, &Config{})
+	w := a.WrapTransport(tr)
+	w.Send(5, 100, resp())
+	if len(tr.sent) != 0 {
+		t.Fatal("silent agent let a response through")
+	}
+	if a.DroppedResponses != 1 {
+		t.Fatalf("DroppedResponses = %d, want 1", a.DroppedResponses)
+	}
+	// Queries still pass: silent nodes sample for themselves.
+	w.Send(5, 40, &wire.Query{Slot: 1})
+	if len(tr.sent) != 1 {
+		t.Fatal("silent agent dropped a non-response message")
+	}
+}
+
+func TestLaggardDelaysResponses(t *testing.T) {
+	tr := &fakeTransport{}
+	cfg := &Config{LagMin: 500 * time.Millisecond, LagMax: 2 * time.Second}
+	a := NewAgent(0, Laggard, 1, cfg)
+	w := a.WrapTransport(tr)
+	w.Send(5, 100, resp())
+	if len(tr.sent) != 0 {
+		t.Fatal("laggard sent the response immediately")
+	}
+	if len(tr.timers) != 1 {
+		t.Fatalf("laggard armed %d timers, want 1", len(tr.timers))
+	}
+	if d := tr.timers[0].d; d < cfg.LagMin || d >= cfg.LagMax {
+		t.Fatalf("lag delay %v outside [%v, %v)", d, cfg.LagMin, cfg.LagMax)
+	}
+	tr.timers[0].fn()
+	if len(tr.sent) != 1 || tr.sentTo[0] != 5 {
+		t.Fatal("laggard did not deliver the response after the delay")
+	}
+	if a.DelayedResponses != 1 {
+		t.Fatalf("DelayedResponses = %d, want 1", a.DelayedResponses)
+	}
+}
+
+func TestGarbageCorruptsCopy(t *testing.T) {
+	tr := &fakeTransport{}
+	a := NewAgent(0, Garbage, 1, &Config{})
+	w := a.WrapTransport(tr)
+	orig := resp()
+	w.Send(5, 100, orig)
+	if len(tr.sent) != 1 {
+		t.Fatal("garbage agent did not send")
+	}
+	got := tr.sent[0].(*wire.Response)
+	if got == orig {
+		t.Fatal("garbage agent mutated the shared message instead of copying")
+	}
+	for i, c := range got.Cells {
+		if !c.Tainted {
+			t.Fatalf("cell %d not marked tainted", i)
+		}
+		if c.ID != orig.Cells[i].ID {
+			t.Fatalf("cell %d ID changed", i)
+		}
+	}
+	// Real-payload cell: data flipped on the copy, original untouched.
+	if got.Cells[0].Data[0] != 0xAA^0xFF {
+		t.Fatal("real payload not corrupted")
+	}
+	if orig.Cells[0].Data[0] != 0xAA {
+		t.Fatal("original payload was mutated")
+	}
+	if orig.Cells[0].Tainted || orig.Cells[1].Tainted {
+		t.Fatal("original cells were marked tainted")
+	}
+	if a.CorruptedCells != 2 {
+		t.Fatalf("CorruptedCells = %d, want 2", a.CorruptedCells)
+	}
+}
+
+func TestPoisonPeriodDefault(t *testing.T) {
+	var nilCfg *Config
+	if nilCfg.PoisonPeriod() != DefaultPoisonInterval {
+		t.Fatal("nil config should use the default poison interval")
+	}
+	if (&Config{PoisonInterval: 3 * time.Second}).PoisonPeriod() != 3*time.Second {
+		t.Fatal("explicit poison interval ignored")
+	}
+}
+
+func TestBehaviorStrings(t *testing.T) {
+	for b, want := range map[Behavior]string{
+		Honest: "honest", Silent: "silent", Laggard: "laggard",
+		Garbage: "garbage", Poisoner: "poisoner",
+	} {
+		if b.String() != want {
+			t.Errorf("Behavior %d: got %q want %q", b, b.String(), want)
+		}
+	}
+	for p, want := range map[Pattern]string{
+		WithholdNone: "none", WithholdRandom: "random", WithholdRows: "rows",
+		WithholdCols: "cols", WithholdMaximal: "maximal",
+	} {
+		if p.String() != want {
+			t.Errorf("Pattern %d: got %q want %q", p, p.String(), want)
+		}
+	}
+	for k, want := range map[FaultKind]string{
+		FaultPartition: "partition", FaultLossBurst: "loss-burst",
+	} {
+		if k.String() != want {
+			t.Errorf("FaultKind %d: got %q want %q", k, k.String(), want)
+		}
+	}
+}

@@ -46,6 +46,10 @@ type Builder struct {
 	// withholding attack). Nil means honest seeding.
 	withhold func(blob.CellID) bool
 
+	// crashAfter, when in (0, 1), makes the builder stop transmitting
+	// after that fraction of its seed datagrams — a crash mid-seeding.
+	crashAfter float64
+
 	// view restricts the builder's knowledge of nodes; nil = complete.
 	// Under churn this is the builder's BELIEVED membership: graceful
 	// leaves are announced and drop out, crashes are not and keep
@@ -78,6 +82,13 @@ func (b *Builder) SetProposerSigner(sign func(slot uint64) [wire.SigSize]byte) {
 // SetWithholding installs a data-withholding predicate: cells for which
 // it returns true are never sent. Pass nil for honest behaviour.
 func (b *Builder) SetWithholding(w func(blob.CellID) bool) { b.withhold = w }
+
+// SetCrash makes the builder crash after transmitting the given fraction
+// of its seed datagrams (0 or 1 disables). Because datagrams go out
+// round-robin across nodes, every node receives a truncated batch rather
+// than a few nodes receiving none — the realistic shape of a builder
+// dying partway through its ~1 s transmission schedule.
+func (b *Builder) SetCrash(fraction float64) { b.crashAfter = fraction }
 
 // SetView restricts which nodes the builder knows about. Pass nil to
 // restore the complete view.
@@ -339,11 +350,32 @@ func (b *Builder) SeedSlot(slot uint64) SeedingReport {
 		}
 		sendPlan = append(sendPlan, nc)
 	}
+	// Withholding is decided by now; trace it so timelines can correlate
+	// sampling failures with the attack that caused them.
+	if report.Withheld > 0 && b.rec != nil {
+		b.rec.Record(obsv.Event{At: b.tr.Now(), Slot: slot,
+			Kind: obsv.KindWithheldCell, Node: int32(b.index), Peer: -1,
+			Count: int32(report.Withheld), Aux: int64(n * n)})
+	}
+	// A crashing builder stops after a fraction of its datagram budget.
+	sendBudget := -1
+	if b.crashAfter > 0 && b.crashAfter < 1 {
+		total := 0
+		for _, nc := range sendPlan {
+			total += len(nc.chunks)
+		}
+		sendBudget = int(b.crashAfter * float64(total))
+	}
+	sent := 0
 	for pass := 0; pass < maxChunks; pass++ {
 		for _, nc := range sendPlan {
 			if pass >= len(nc.chunks) {
 				continue
 			}
+			if sendBudget >= 0 && sent >= sendBudget {
+				return report
+			}
+			sent++
 			m := nc.chunks[pass]
 			size := m.WireSize(b.cfg.Blob.CellBytes)
 			report.Messages++

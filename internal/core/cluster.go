@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"pandas/internal/adversary"
 	"pandas/internal/assign"
 	"pandas/internal/consensus"
 	"pandas/internal/dht"
@@ -56,6 +57,14 @@ type ClusterConfig struct {
 	// code path. Composes with OutOfViewFraction (restricted views churn)
 	// and DeadFraction (dead nodes are excluded from lifecycle events).
 	Churn *membership.Config
+	// Adversary enables byzantine behaviors, builder attacks, and
+	// scheduled network faults. Per-node behaviors are drawn by
+	// deterministic sortition from Seed; all adversarial randomness comes
+	// from dedicated streams, so a nil or inactive config leaves the
+	// honest deployment bit-identical. View-poisoner behavior requires
+	// Churn (it rides the membership announcement mesh) and is a no-op
+	// without it.
+	Adversary *adversary.Config
 }
 
 // NodeOutcome reports one node's slot, with durations relative to the
@@ -128,12 +137,21 @@ type Cluster struct {
 	leftAt     []time.Duration
 	churnPrev  membership.Stats
 
+	// Adversary subsystem (inert without ClusterConfig.Adversary).
+	behaviors   []adversary.Behavior
+	agents      []*adversary.Agent
+	seedDelay   time.Duration
+	advRng      *rand.Rand
+	partitioned map[int]bool
+	departed    map[int]bool
+
 	// Observability (nil without Core.Recorder / Core.Metrics).
 	rec        obsv.Recorder
 	mGossip    *obsv.Counter
 	mGossipDup *obsv.Counter
 	mAnn       *obsv.Counter
 	mDHT       *obsv.Counter
+	mPoison    *obsv.Counter
 }
 
 // simTransport adapts the simulator to the core Transport interface.
@@ -218,6 +236,20 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 	}
 	c.proposer = proposer
 
+	// Adversary sortition happens before node registration because each
+	// byzantine node's transport is wrapped at construction. It draws
+	// from dedicated seed streams only, so the main rng — and therefore
+	// every honest random choice below — is untouched whether or not
+	// adversaries are enabled.
+	if err := cc.Adversary.Validate(); err != nil {
+		return nil, err
+	}
+	c.behaviors = cc.Adversary.Sortition(cc.Seed, cc.N)
+	c.agents = make([]*adversary.Agent, cc.N)
+	for i := range c.agents {
+		c.agents[i] = adversary.NewAgent(i, c.behaviors[i], cc.Seed, cc.Adversary)
+	}
+
 	// Register nodes.
 	c.nodes = make([]*Node, cc.N)
 	c.blockRecv = make([]time.Duration, cc.N)
@@ -229,7 +261,9 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 		if idx != i {
 			return nil, fmt.Errorf("core: node index mismatch: %d != %d", idx, i)
 		}
-		c.nodes[i] = NewNode(cc.Core, i, table, simTransport{net: net, self: i}, cc.Seed^int64(i*2654435761))
+		var tr Transport = simTransport{net: net, self: i}
+		tr = c.agents[i].WrapTransport(tr)
+		c.nodes[i] = NewNode(cc.Core, i, table, tr, cc.Seed^int64(i*2654435761))
 		if cc.VerifySeeds {
 			c.nodes[i].SetSeedVerification(proposer.Public)
 		}
@@ -294,6 +328,12 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 		if err := c.setupChurn(cc); err != nil {
 			return nil, err
 		}
+	}
+	// Adversary wiring (builder attacks, fault schedule, poisoners) runs
+	// last: partial seeding composes with the builder's churn-believed
+	// view, and poisoners ride the churn announcement mesh.
+	if cc.Adversary.Active() {
+		c.setupAdversary(cc)
 	}
 	return c, nil
 }
@@ -461,6 +501,7 @@ func (c *Cluster) onChurnJoin(node int, restart bool) {
 	if err := c.net.SetDead(node, false); err != nil {
 		return
 	}
+	delete(c.departed, node)
 	if c.rec != nil {
 		op := obsv.ChurnJoin
 		if restart {
@@ -488,6 +529,9 @@ func (c *Cluster) onChurnJoin(node int, restart bool) {
 func (c *Cluster) onChurnLeave(node int, crash bool) {
 	if c.leftAt[node] < 0 {
 		c.leftAt[node] = c.net.Now()
+	}
+	if c.departed != nil {
+		c.departed[node] = true
 	}
 	if c.rec != nil {
 		op := obsv.ChurnLeave
@@ -581,6 +625,14 @@ func (c *Cluster) Network() *simnet.Network { return c.net }
 // Engine exposes the churn engine (nil without dynamic membership).
 func (c *Cluster) Engine() *membership.Engine { return c.engine }
 
+// Behaviors returns the per-node adversary sortition (all Honest without
+// an adversary config). Indexed by node.
+func (c *Cluster) Behaviors() []adversary.Behavior { return c.behaviors }
+
+// Agents returns the per-node adversary agents (honest agents for honest
+// nodes). Indexed by node.
+func (c *Cluster) Agents() []*adversary.Agent { return c.agents }
+
 // Directory exposes the online/believed membership directory (nil
 // without dynamic membership).
 func (c *Cluster) Directory() *membership.Directory { return c.dir }
@@ -621,10 +673,15 @@ func (c *Cluster) RunSlot(slot uint64) (*SlotResult, error) {
 		}
 	}
 
+	// Scheduled network faults re-arm each slot at their offsets.
+	c.armFaults()
+
 	// t=0: proposer instructs the builder to seed, and (optionally)
-	// publishes the block via gossip from a random well-known node.
+	// publishes the block via gossip from a random well-known node. A
+	// late-seeding attack postpones the builder, eating into the 4 s
+	// sampling budget.
 	var report SeedingReport
-	c.net.After(0, func() {
+	c.net.After(c.seedDelay, func() {
 		report = c.builder.SeedSlot(slot)
 	})
 	if c.overlay != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"crypto/ed25519"
+	"errors"
 	"math/rand"
 	"sort"
 	"time"
@@ -24,6 +25,9 @@ type LivenessRecorder interface {
 	ReportTimeout(peer int)
 	// ReportSuccess records a response from the peer.
 	ReportSuccess(peer int)
+	// ReportGarbage records that the peer served cells failing proof
+	// verification — worse than a timeout: the peer is alive and lying.
+	ReportGarbage(peer int)
 }
 
 // RoundStat captures the fetching progress of one node during one round,
@@ -120,6 +124,12 @@ type Node struct {
 	// response must arrive before the peer is reported to the liveness
 	// scorer as timed out. Only maintained when liveness is set.
 	awaitReply map[int]time.Duration
+	// badPeers bans, for the rest of the slot, peers that served cells
+	// failing proof verification: unlike a timeout (which exponential
+	// backoff forgives), a bad proof is cryptographic evidence of
+	// misbehavior, so the planner never asks the peer again this slot —
+	// including across the periodic queried-set re-arm sweeps.
+	badPeers map[int]bool
 	// gen invalidates timers armed for an earlier lifetime of this node:
 	// it increments on every StartSlot, so a node that crashes and
 	// restarts within the same slot does not execute stale callbacks.
@@ -128,12 +138,16 @@ type Node struct {
 	// obs maintains the current slot's metrics view and (optionally)
 	// traces protocol events through cfg.Recorder.
 	obs obsv.Observer
+
+	// mRejects counts proof-verification rejects in the shared registry
+	// (nil without cfg.Metrics).
+	mRejects *obsv.Counter
 }
 
 // NewNode creates a node bound to a transport address. rngSeed drives the
 // node's local (unpredictable to others) choices: sample selection.
 func NewNode(cfg Config, index int, table *Table, tr Transport, rngSeed int64) *Node {
-	return &Node{
+	n := &Node{
 		cfg:   cfg,
 		index: index,
 		table: table,
@@ -141,6 +155,10 @@ func NewNode(cfg Config, index int, table *Table, tr Transport, rngSeed int64) *
 		rng:   rand.New(rand.NewSource(rngSeed)),
 		obs:   obsv.Observer{Rec: cfg.Recorder, Node: int32(index)},
 	}
+	if cfg.Metrics != nil {
+		n.mRejects = cfg.Metrics.Counter("fetch_corrupt_rejects_total")
+	}
+	return n
 }
 
 // Metrics returns the node's observations for the current slot — a copy
@@ -228,6 +246,7 @@ func (n *Node) StartSlot(slot uint64) {
 	n.pendingOut = make(map[int][]wire.Cell)
 	n.flushArmed = false
 	n.awaitReply = make(map[int]time.Duration)
+	n.badPeers = make(map[int]bool)
 	n.obs.BeginSlot(slot, n.tr.Now())
 
 	// Fallback: a node the builder does not know never receives seeds and
@@ -317,8 +336,14 @@ func (n *Node) onSeed(m *wire.Seed) {
 			n.startFetch()
 		}
 	})
-	dups, added := n.addCells(m.Cells)
+	dups, added, rejects := n.addCells(m.Cells)
 	n.obs.SeedIngested(now, added, dups)
+	if rejects > 0 && n.obs.Enabled() {
+		// Peer -1: the rejecting batch came from the seeding path, not a
+		// fetch peer (nothing to ban — seeds are already authenticated).
+		n.obs.Emit(obsv.Event{At: now, Kind: obsv.KindCorruptReject,
+			Peer: -1, Count: int32(rejects)})
+	}
 	for _, e := range m.Boost {
 		peer := n.table.HolderAt(e.Line, int(e.HolderRef))
 		if peer < 0 {
@@ -402,14 +427,15 @@ func (n *Node) onResponse(from int, m *wire.Response) {
 	if m.Slot != n.slot || n.store == nil {
 		return
 	}
-	// Any response — even an empty or partial one — proves the peer is
-	// alive and re-arms it with the liveness scorer.
+	// Any response — even an empty or partial one — settles the reply
+	// deadline; whether it counts for or against the peer depends on
+	// whether its cells verify.
 	delete(n.awaitReply, from)
-	if n.liveness != nil {
-		n.liveness.ReportSuccess(from)
-	}
+	var dups, added, rejects int
+	round := 0
 	// Attribute the reply to the round in which the peer was queried.
 	if r, ok := n.queryRound[from]; ok && r >= 1 && r <= len(n.roundEnds) {
+		round = r
 		stat := &n.obs.View.Rounds[r-1]
 		inRound := n.tr.Now() <= n.roundEnds[r-1]
 		if inRound {
@@ -419,34 +445,58 @@ func (n *Node) onResponse(from int, m *wire.Response) {
 			stat.RepliesAfterRound++
 			stat.CellsAfterRound += len(m.Cells)
 		}
-		dups, added := n.addCells(m.Cells)
+		dups, added, rejects = n.addCells(m.Cells)
 		stat.Duplicates += dups
+	} else {
+		dups, added, rejects = n.addCells(m.Cells)
+	}
+	if n.obs.Enabled() {
+		n.obs.Emit(obsv.Event{At: n.tr.Now(), Kind: obsv.KindCellsReceived,
+			Src: obsv.SrcFetch, Peer: int32(from), Round: int32(round),
+			Count: int32(added), Aux: int64(dups)})
+	}
+	if rejects > 0 {
+		// Cryptographic evidence of misbehavior — a signed commitment and
+		// a cell that fails against it. Ban the peer for the rest of the
+		// slot (the periodic queried-set re-arm must not resurrect it) and
+		// report garbage rather than success to the liveness scorer.
+		n.badPeers[from] = true
+		if n.liveness != nil {
+			n.liveness.ReportGarbage(from)
+		}
 		if n.obs.Enabled() {
-			n.obs.Emit(obsv.Event{At: n.tr.Now(), Kind: obsv.KindCellsReceived,
-				Src: obsv.SrcFetch, Peer: int32(from), Round: int32(r),
-				Count: int32(added), Aux: int64(dups)})
+			n.obs.Emit(obsv.Event{At: n.tr.Now(), Kind: obsv.KindCorruptReject,
+				Peer: int32(from), Round: int32(round), Count: int32(rejects)})
 		}
 		return
 	}
-	dups, added := n.addCells(m.Cells)
-	if n.obs.Enabled() {
-		n.obs.Emit(obsv.Event{At: n.tr.Now(), Kind: obsv.KindCellsReceived,
-			Src: obsv.SrcFetch, Peer: int32(from),
-			Count: int32(added), Aux: int64(dups)})
+	if n.liveness != nil {
+		n.liveness.ReportSuccess(from)
 	}
 }
 
 // addCells ingests a batch of cells: store them, satisfy samples, flush
 // buffered queries, attempt erasure reconstruction, and update phase
-// completion. It returns the duplicate count and the number of cells
-// added.
-func (n *Node) addCells(cells []wire.Cell) (dups, added int) {
+// completion. It returns the duplicate count, the number of cells added,
+// and the number rejected for failing proof verification. Rejected cells
+// are never ingested: their in-flight markers are dropped on the spot so
+// the next round's plan re-requests them from other peers.
+func (n *Node) addCells(cells []wire.Cell) (dups, added, rejects int) {
 	if len(cells) == 0 {
-		return 0, 0
+		return 0, 0, 0
 	}
 	touched := make(map[blob.Line]bool, 4)
 	for _, c := range cells {
 		ok, err := n.store.Add(c)
+		if errors.Is(err, ErrBadProof) {
+			rejects++
+			delete(n.outstanding, c.ID)
+			n.obs.View.CorruptRejects++
+			if n.mRejects != nil {
+				n.mRejects.Inc()
+			}
+			continue
+		}
 		if err != nil || !ok {
 			dups++
 			continue
@@ -487,7 +537,7 @@ func (n *Node) addCells(cells []wire.Cell) (dups, added int) {
 	}
 	n.armFlush()
 	n.updateCompletion()
-	return dups, added
+	return dups, added, rejects
 }
 
 // armFlush schedules a coalesced transmission of buffered-query replies.
@@ -839,6 +889,12 @@ func (n *Node) planRound(F []blob.CellID) []fetch.Query {
 	}
 	// Deterministic candidate order under equal scores.
 	sortScoredByPeer(scored)
+	// Peers caught serving unverifiable cells are banned for the slot —
+	// a stronger judgment than liveness backoff, which is why it is a
+	// separate filter rather than a scorer state.
+	if len(n.badPeers) > 0 {
+		scored = fetch.Exclude(scored, func(peer int) bool { return n.badPeers[peer] })
+	}
 	if n.liveness != nil {
 		var onSkip func(int)
 		if n.obs.Enabled() {

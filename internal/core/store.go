@@ -155,6 +155,13 @@ func (s *Store) Add(c wire.Cell) (bool, error) {
 	if int(c.ID.Row) >= s.n || int(c.ID.Col) >= s.n {
 		return false, fmt.Errorf("%w: cell %v out of range", blob.ErrBadCell, c.ID)
 	}
+	// A tainted cell is the simulator's stand-in for a corrupted payload:
+	// the proof check a real deployment always performs would fail, so
+	// reject it in both payload modes. Real-payload corruption is also
+	// caught below by the actual KZG verification.
+	if c.Tainted {
+		return false, fmt.Errorf("%w: cell %v (tainted)", ErrBadProof, c.ID)
+	}
 	if s.verify && s.hasCommitment {
 		if !kzg.Verify(s.commitment, c.ID, c.Data, c.Proof) {
 			return false, fmt.Errorf("%w: cell %v", ErrBadProof, c.ID)

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+
+	"pandas/internal/adversary"
+)
+
+// TestWithholdingMatchesMonteCarlo is the protocol-level golden test of
+// the Section 3 sampling analysis: the miss rate of real adversarial
+// cluster runs under maximal withholding must agree with confidence.go's
+// idealized Monte Carlo at the same geometry, within combined binomial
+// confidence bounds. This ties the end-to-end protocol (seeding,
+// fetching, per-node sample draws) to the math the 73-sample choice
+// rests on.
+func TestWithholdingMatchesMonteCarlo(t *testing.T) {
+	o := TestOptions()
+	o.Slots = 3 // 360 node-slots per point
+	const mcTrials = 5000
+	res, err := Withholding(o, nil, mcTrials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no sweep points")
+	}
+	for _, p := range res.Points {
+		if p.Trials < 300 {
+			t.Fatalf("samples=%d: only %d node-slots measured", p.Samples, p.Trials)
+		}
+		if !p.WithinCI(mcTrials, 4) {
+			t.Errorf("samples=%d: cluster miss %.4f vs Monte Carlo %.4f outside 4-sigma bounds (%d node-slots)",
+				p.Samples, p.Cluster, p.MonteCarlo, p.Trials)
+		}
+		// The analytic hypergeometric bound upper-bounds both estimators
+		// up to sampling noise; a gross violation means the withholding
+		// pattern and the analysis no longer describe the same attack.
+		if p.Cluster > p.Analytic+0.1 {
+			t.Errorf("samples=%d: cluster miss %.4f far above analytic bound %.4f",
+				p.Samples, p.Cluster, p.Analytic)
+		}
+	}
+}
+
+// TestByzantineSweepDeadline pins the acceptance bound at the test
+// geometry: at 20% silent byzantine nodes every honest node meets the
+// 4 s sampling deadline, and the zero-fraction point is unaffected.
+func TestByzantineSweepDeadline(t *testing.T) {
+	o := TestOptions()
+	res, err := Byzantine(o, adversary.Silent, []float64{0, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.DeadlineRate != 1.0 {
+			t.Errorf("silent fraction %.0f%%: honest deadline rate %.4f, want 1.0",
+				p.Fraction*100, p.DeadlineRate)
+		}
+	}
+}
+
+// TestByzantineSweepGarbageRejects: the garbage sweep must surface
+// verification rejects in its table (the reject counter is the sweep's
+// evidence that corrupted cells were served and refused).
+func TestByzantineSweepGarbageRejects(t *testing.T) {
+	o := TestOptions()
+	o.Nodes = 60
+	o.Slots = 1
+	res, err := Byzantine(o, adversary.Garbage, []float64{0, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].CorruptRejects != 0 {
+		t.Fatalf("honest point reports %d corrupt rejects", res.Points[0].CorruptRejects)
+	}
+	if res.Points[1].CorruptRejects == 0 {
+		t.Fatal("garbage point reports no corrupt rejects")
+	}
+}

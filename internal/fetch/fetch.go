@@ -242,6 +242,26 @@ func ApplyLivenessObserved(scored []Scored, l Liveness, onSkip func(peer int)) [
 	return out
 }
 
+// Exclude drops candidates the banned predicate matches. Unlike liveness
+// backoff (temporary, forgiving), exclusion is unconditional: the caller
+// uses it for peers caught misbehaving cryptographically — serving cells
+// that fail proof verification — which no score demotion should ever
+// resurrect. The slice is filtered in place. A nil predicate returns the
+// input unchanged.
+func Exclude(scored []Scored, banned func(peer int) bool) []Scored {
+	if banned == nil {
+		return scored
+	}
+	out := scored[:0]
+	for _, s := range scored {
+		if banned(s.Peer) {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
 // PlanLazy is the allocation-frugal equivalent of Plan used by the
 // simulator at large scales: candidate cell lists are materialized only
 // for peers actually considered, via the cellsOf callback. cellsOf must

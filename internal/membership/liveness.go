@@ -113,6 +113,38 @@ func (s *Scorer) ReportTimeout(peer int) {
 	}
 }
 
+// ReportGarbage records that the peer served cells failing proof
+// verification. Unlike a timeout — which might be congestion — garbage
+// is deliberate, so the peer jumps straight to the maximum backoff with
+// a failure count matching it (the score penalty a fully backed-off peer
+// would carry). Liveness state persists across slots, so a garbage peer
+// starts the next slot still quarantined even though the fetcher's
+// per-slot ban has reset.
+func (s *Scorer) ReportGarbage(peer int) {
+	st := s.state[peer]
+	if st == nil {
+		st = &peerScore{}
+		s.state[peer] = st
+	}
+	// Failure count equivalent to having timed out all the way up the
+	// exponential ladder.
+	steps := 1
+	for back := s.cfg.BaseBackoff; back < s.cfg.MaxBackoff; back *= 2 {
+		steps++
+	}
+	if st.failures < steps {
+		st.failures = steps
+	} else {
+		st.failures++
+	}
+	st.backoffUntil = s.now() + s.cfg.MaxBackoff
+	if s.rec != nil {
+		s.rec.Record(obsv.Event{At: s.now(), Slot: s.slot,
+			Kind: obsv.KindPeerTimeout, Node: s.node, Peer: int32(peer),
+			Count: int32(st.failures), Aux: int64(s.cfg.MaxBackoff)})
+	}
+}
+
 // ReportSuccess marks the peer healthy, clearing failures and backoff.
 func (s *Scorer) ReportSuccess(peer int) {
 	st := s.state[peer]

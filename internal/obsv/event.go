@@ -63,6 +63,22 @@ const (
 	KindGossipMsg
 	// KindDHTMsg is a DHT RPC handled by a node's Kademlia peer.
 	KindDHTMsg
+	// KindWithheldCell records the builder withholding data for a slot:
+	// emitted once per seeding, with Count the number of withheld cells
+	// and Aux the total extended cells. Node is the builder's index.
+	KindWithheldCell
+	// KindCorruptReject records a node rejecting cells whose proof
+	// verification failed. Peer is the sender (-1 for a seed batch),
+	// Count the rejected cells. The rejected cells stay in the missing
+	// set and are re-requested from other peers next round.
+	KindCorruptReject
+	// KindFaultStart marks a scheduled network fault engaging. Node is
+	// -1 (the fault is network-global), Count the isolated node count
+	// for a partition (0 otherwise), Aux the FaultKind code.
+	KindFaultStart
+	// KindFaultStop marks the matching fault clearing; fields mirror
+	// KindFaultStart.
+	KindFaultStop
 )
 
 // String implements fmt.Stringer.
@@ -96,6 +112,14 @@ func (k Kind) String() string {
 		return "gossip-msg"
 	case KindDHTMsg:
 		return "dht-msg"
+	case KindWithheldCell:
+		return "withheld-cell"
+	case KindCorruptReject:
+		return "corrupt-reject"
+	case KindFaultStart:
+		return "fault-start"
+	case KindFaultStop:
+		return "fault-stop"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

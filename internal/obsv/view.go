@@ -45,6 +45,12 @@ type NodeView struct {
 	FetchBytesSent int64
 	FetchBytesRecv int64
 
+	// CorruptRejects counts cells rejected for failing proof
+	// verification (garbage responses from byzantine peers). Rejected
+	// cells never count as ingested; they stay missing and are re-fetched
+	// from other peers.
+	CorruptRejects int
+
 	// Rounds holds per-round statistics (Table 1).
 	Rounds []RoundStat
 

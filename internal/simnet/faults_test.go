@@ -1,0 +1,92 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNetworkSetLossRate(t *testing.T) {
+	n := newTestNet(t, ConstantLatency(time.Millisecond), 0.03)
+	if got := n.LossRate(); got != 0.03 {
+		t.Fatalf("LossRate = %v, want configured 0.03", got)
+	}
+	received := 0
+	a := n.AddNode(nil, 0, 0)
+	b := n.AddNode(func(from, size int, payload any) { received++ }, 0, 0)
+
+	// Raise to near-certain loss: (almost) nothing gets through.
+	n.SetLossRate(0.999999)
+	for i := 0; i < 200; i++ {
+		n.Send(a, b, 10, nil)
+	}
+	n.Run(time.Second)
+	if received > 2 {
+		t.Fatalf("%d messages survived a 0.999999 loss rate", received)
+	}
+
+	// Restore the baseline: traffic flows again.
+	n.SetLossRate(0.03)
+	if got := n.LossRate(); got != 0.03 {
+		t.Fatalf("LossRate after restore = %v", got)
+	}
+	received = 0
+	for i := 0; i < 200; i++ {
+		n.Send(a, b, 10, nil)
+	}
+	n.Run(2 * time.Second)
+	if received < 150 {
+		t.Fatalf("only %d/200 delivered at the restored 3%% rate", received)
+	}
+
+	// Out-of-range rates clamp instead of panicking or disabling loss.
+	n.SetLossRate(1.5)
+	if got := n.LossRate(); got >= 1 {
+		t.Fatalf("SetLossRate(1.5) left rate %v >= 1", got)
+	}
+	n.SetLossRate(-0.5)
+	if got := n.LossRate(); got != 0 {
+		t.Fatalf("SetLossRate(-0.5) left rate %v, want 0", got)
+	}
+}
+
+func TestNetworkLinkFilterPartition(t *testing.T) {
+	n := newTestNet(t, ConstantLatency(time.Millisecond), 0)
+	recv := make([]int, 3)
+	mk := func(i int) Handler {
+		return func(from, size int, payload any) { recv[i]++ }
+	}
+	a := n.AddNode(mk(0), 0, 0)
+	b := n.AddNode(mk(1), 0, 0)
+	c := n.AddNode(mk(2), 0, 0)
+
+	// Isolate c: messages crossing the {a,b} | {c} cut die, including
+	// the reliable path — no transport crosses a partition.
+	isolated := map[int]bool{c: true}
+	n.SetLinkFilter(func(from, to int) bool { return isolated[from] != isolated[to] })
+	droppedBefore := n.Dropped()
+	n.Send(a, b, 10, nil)
+	n.Send(a, c, 10, nil)
+	n.SendReliable(b, c, 10, nil)
+	n.Send(c, a, 10, nil)
+	n.Run(time.Second)
+	if recv[1] != 1 {
+		t.Fatalf("intra-partition message not delivered: recv=%v", recv)
+	}
+	if recv[2] != 0 || recv[0] != 0 {
+		t.Fatalf("messages crossed the partition: recv=%v", recv)
+	}
+	if got := n.Dropped() - droppedBefore; got != 3 {
+		t.Fatalf("Dropped grew by %d, want 3 filtered messages", got)
+	}
+	if got := n.Stats(a).MsgsLost; got != 1 {
+		t.Fatalf("sender a MsgsLost = %d, want 1", got)
+	}
+
+	// Heal: clearing the filter (or emptying the set) restores traffic.
+	n.SetLinkFilter(nil)
+	n.Send(a, c, 10, nil)
+	n.Run(2 * time.Second)
+	if recv[2] != 1 {
+		t.Fatalf("message dropped after partition healed: recv=%v", recv)
+	}
+}

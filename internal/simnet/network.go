@@ -78,6 +78,12 @@ type Network struct {
 	nodes   []nodeState
 	dropped int
 
+	// linkFilter, when non-nil, vetoes individual links: a true return
+	// drops the message (after the sender's uplink is charged — the bytes
+	// were transmitted into a black hole). Used by fault injection to
+	// model partitions.
+	linkFilter func(from, to int) bool
+
 	// Registry metric handles (nil without SetMetrics): looked up once so
 	// the per-message cost is a nil check plus an atomic add.
 	mDelivered *obsv.Counter
@@ -172,6 +178,31 @@ func (n *Network) ResetStats() {
 // Dropped returns the total number of messages lost in transit.
 func (n *Network) Dropped() int { return n.dropped }
 
+// LossRate returns the current random-loss probability.
+func (n *Network) LossRate() float64 { return n.cfg.LossRate }
+
+// SetLossRate changes the random-loss probability mid-run (fault
+// injection: loss bursts raise it for a window, then restore the
+// baseline). Out-of-range values are clamped to [0, 1).
+func (n *Network) SetLossRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate >= 1 {
+		rate = 0.999999
+	}
+	n.cfg.LossRate = rate
+}
+
+// SetLinkFilter installs (or, with nil, removes) a per-link veto: f is
+// consulted for every lossy or reliable send, and a true return drops
+// the message after uplink accounting — partitioned traffic still costs
+// the sender bandwidth. Fault injection uses this to model network
+// partitions; the filter must be deterministic for reproducible runs.
+func (n *Network) SetLinkFilter(f func(from, to int) bool) {
+	n.linkFilter = f
+}
+
 // SetMetrics publishes the network's counters into an obsv registry:
 // simnet_delivered_total, simnet_dropped_total, simnet_bytes_total, and
 // the simnet_queue_depth gauge (event-queue depth sampled at each
@@ -221,6 +252,18 @@ func (n *Network) send(from, to, size int, payload any, lossy bool) {
 	txTime := transferTime(size, sender.upBps)
 	start := max(now, sender.uplinkFree)
 	sender.uplinkFree = start + txTime
+
+	// A partition cut drops the message outright — before the loss draw,
+	// so the rng stream is untouched by messages that could never arrive.
+	// Reliable sends are cut too: no transport crosses a partition.
+	if n.linkFilter != nil && n.linkFilter(from, to) {
+		sender.stats.MsgsLost++
+		n.dropped++
+		if n.mDropped != nil {
+			n.mDropped.Inc()
+		}
+		return
+	}
 
 	// Loss is decided up front (deterministic given the seed) but the
 	// uplink capacity is still consumed — the sender paid for the bytes.

@@ -63,6 +63,13 @@ type Cell struct {
 	ID    blob.CellID
 	Data  []byte
 	Proof kzg.Proof
+	// Tainted marks a cell corrupted by a simulated byzantine sender. It
+	// is a simulator-only annotation — never encoded or decoded — that
+	// stands in for the proof-verification failure a real deployment
+	// would observe: in metadata mode there are no payload bytes to
+	// corrupt, so the store rejects Tainted cells exactly where real mode
+	// rejects cells whose KZG proof fails.
+	Tainted bool
 }
 
 // Message is implemented by all PANDAS wire messages.

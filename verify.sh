@@ -5,6 +5,14 @@ set -eu
 
 cd "$(dirname "$0")"
 
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -14,8 +22,9 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (membership, core, fetch, blob, rs, gf65536, obsv)"
+echo "== go test -race (membership, core, fetch, blob, rs, gf65536, obsv, transport, wire, adversary)"
 go test -race ./internal/membership ./internal/core ./internal/fetch \
-	./internal/blob ./internal/rs ./internal/gf65536 ./internal/obsv
+	./internal/blob ./internal/rs ./internal/gf65536 ./internal/obsv \
+	./internal/transport ./internal/wire ./internal/adversary
 
 echo "verify: OK"
