@@ -17,17 +17,24 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"pandas/internal/assign"
 	"pandas/internal/blob"
 	"pandas/internal/core"
+	"pandas/internal/gateway"
 	"pandas/internal/ids"
+	"pandas/internal/kzg"
 	"pandas/internal/obsv"
 	"pandas/internal/transport"
 	"pandas/internal/wire"
@@ -53,6 +60,7 @@ func run(args []string) error {
 		samples   = fs.Int("samples", 6, "random cells sampled per slot")
 		slotGap   = fs.Duration("slot-gap", 12*time.Second, "time between slots")
 		metrics   = fs.String("metrics", "", "serve Prometheus text metrics at http://ADDR/metrics (e.g. :9464)")
+		gwAddr    = fs.String("gateway", "", "serve light-client sampling queries at http://ADDR/v1/cell (non-builder only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -177,6 +185,88 @@ func run(args []string) error {
 	fmt.Printf("node %d ready: custody %v, sampling %d cells per slot\n",
 		*index, table.Assignment(*index).Lines(), cfg.Samples)
 
+	// Optional sampling-as-a-service frontend: light clients query
+	// (slot, row, col) over HTTP; the gateway coalesces and caches so
+	// the node's event loop sees one Peek per distinct cell, not one
+	// per client. Cells in the node's custody store were verified on
+	// arrival, so the gateway serves them without re-proving.
+	var gw *gateway.Gateway
+	if *gwAddr != "" {
+		up := gateway.UpstreamFunc(func(ctx context.Context, _ uint64, id blob.CellID) (wire.Cell, error) {
+			type peeked struct {
+				cell wire.Cell
+				ok   bool
+			}
+			ch := make(chan peeked, 1)
+			ep.Run(func() {
+				c, ok := node.Store().Peek(id)
+				if ok && c.Data != nil {
+					// Peek aliases custody state that the node loop may
+					// replace at the next slot; the gateway retains cells
+					// in its cache, so take a private copy here.
+					c.Data = append([]byte(nil), c.Data...)
+				}
+				ch <- peeked{c, ok}
+			})
+			select {
+			case r := <-ch:
+				if !r.ok {
+					return wire.Cell{}, fmt.Errorf("cell %v not in custody", id)
+				}
+				return r.cell, nil
+			case <-ctx.Done():
+				return wire.Cell{}, ctx.Err()
+			}
+		})
+		gw, err = gateway.New(gateway.Config{Upstream: up, Metrics: reg, Node: int32(*index)})
+		if err != nil {
+			return err
+		}
+		defer gw.Close()
+		gw.StartSlot(slot, kzg.Commitment{})
+		gmux := http.NewServeMux()
+		gmux.HandleFunc("/v1/cell", func(w http.ResponseWriter, r *http.Request) {
+			q := r.URL.Query()
+			qslot, err1 := strconv.ParseUint(q.Get("slot"), 10, 64)
+			row, err2 := strconv.Atoi(q.Get("row"))
+			col, err3 := strconv.Atoi(q.Get("col"))
+			n := cfg.Blob.N()
+			if err1 != nil || err2 != nil || err3 != nil || row < 0 || row >= n || col < 0 || col >= n {
+				http.Error(w, fmt.Sprintf("need slot, row, col (0..%d)", n-1), http.StatusBadRequest)
+				return
+			}
+			cell, qerr := gw.Query(r.Context(), clientKey(r.RemoteAddr), qslot,
+				blob.CellID{Row: uint16(row), Col: uint16(col)})
+			if qerr != nil {
+				var ra *gateway.RetryAfterError
+				if errors.As(qerr, &ra) {
+					secs := int(ra.After.Seconds() + 0.999)
+					if secs < 1 {
+						secs = 1
+					}
+					w.Header().Set("Retry-After", strconv.Itoa(secs))
+					http.Error(w, qerr.Error(), http.StatusTooManyRequests)
+					return
+				}
+				http.Error(w, qerr.Error(), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(map[string]any{
+				"slot": qslot, "row": row, "col": col,
+				"data": cell.Data, "proof": cell.Proof[:],
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "pandas-node: gateway response:", err)
+			}
+		})
+		go func() {
+			if err := http.ListenAndServe(*gwAddr, gmux); err != nil {
+				fmt.Fprintln(os.Stderr, "pandas-node: gateway server:", err)
+			}
+		}()
+		fmt.Printf("sampling gateway at http://%s/v1/cell?slot=S&row=R&col=C\n", *gwAddr)
+	}
+
 	ticker := time.NewTicker(500 * time.Millisecond)
 	defer ticker.Stop()
 	for range ticker.C {
@@ -203,11 +293,22 @@ func run(args []string) error {
 				}
 				slot++
 				node.StartSlot(slot)
+				if gw != nil {
+					gw.StartSlot(slot, kzg.Commitment{})
+				}
 			}
 		})
 		fmt.Println(<-status)
 	}
 	return nil
+}
+
+// clientKey folds a remote address into the gateway's per-client
+// fairness key: one TCP peer = one client budget.
+func clientKey(remoteAddr string) int {
+	h := fnv.New32a()
+	h.Write([]byte(remoteAddr))
+	return int(h.Sum32())
 }
 
 func boolGauge(b bool) int64 {

@@ -41,7 +41,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("pandas-sim", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "", "experiment: fig9 fig10 table1 fig11 fig12 fig13 fig14 fig15a fig15b churn ablation validate confidence adversary withholding byzantine")
+		exp    = fs.String("exp", "", "experiment: fig9 fig10 table1 fig11 fig12 fig13 fig14 fig15a fig15b churn ablation validate confidence adversary withholding byzantine gateway")
 		nodes  = fs.Int("nodes", 1000, "network size")
 		slots  = fs.Int("slots", 10, "slots to aggregate")
 		seed   = fs.Int64("seed", 1, "random seed")
@@ -54,6 +54,10 @@ func run(args []string) error {
 		trials = fs.Int("trials", 20000, "Monte Carlo trials for confidence/adversary")
 		behav  = fs.String("behavior", "silent", "byzantine behavior for adversary: silent laggard garbage")
 		trace  = fs.String("trace", "", "record a protocol event trace and write it to this JSONL file")
+
+		clients = fs.Int("clients", 100_000, "gateway: concurrent synthetic light clients per slot")
+		queries = fs.Int("queries", 3, "gateway: sampling queries per client per slot")
+		zipf    = fs.Float64("zipf", 1.2, "gateway: zipf exponent of cell popularity (>1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,7 +79,8 @@ func run(args []string) error {
   confidence  sampling false-positive analysis (Section 3)
   adversary   withholding detection + byzantine-fraction sweep (threat model)
   withholding withholding-detection table only (cluster vs Monte Carlo)
-  byzantine   byzantine-fraction sweep only (-behavior, -fractions)`)
+  byzantine   byzantine-fraction sweep only (-behavior, -fractions)
+  gateway     sampling-gateway load: coalescing/cache under 100k+ light clients (-clients, -queries, -zipf)`)
 		return nil
 	}
 	o := experiments.Options{Nodes: *nodes, Slots: *slots, Seed: *seed, LossRate: -0}
@@ -146,6 +151,10 @@ func run(args []string) error {
 		default:
 			res, err = experiments.Adversary(o, b, parseFracs(*fracs), *trials)
 		}
+	case "gateway":
+		res, err = experiments.GatewayLoad(o, experiments.GatewayLoadOptions{
+			Clients: *clients, QueriesPerClient: *queries, ZipfS: *zipf,
+		})
 	case "":
 		return fmt.Errorf("missing -exp (use -list to enumerate)")
 	default:

@@ -115,6 +115,19 @@ func (b *Builder) PrepareBlob(data []byte) error {
 // unless PrepareBlob ran).
 func (b *Builder) Commitment() kzg.Commitment { return b.commitment }
 
+// CellPayload returns the wire cell for an id directly from the
+// builder's prepared blob — the authoritative last-resort source the
+// sampling gateway's upstream falls back to when no custody node holds
+// the cell. It reports false in metadata mode (no prepared blob).
+// The returned Data aliases the builder's extended matrix; callers
+// must treat it as read-only (same contract as Store.Peek).
+func (b *Builder) CellPayload(id blob.CellID) (wire.Cell, bool) {
+	if b.extended == nil {
+		return wire.Cell{}, false
+	}
+	return b.cellPayload(id), true
+}
+
 // cellPayload materializes a wire cell (with bytes and proof in real
 // mode).
 func (b *Builder) cellPayload(id blob.CellID) wire.Cell {

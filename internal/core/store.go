@@ -203,6 +203,29 @@ func (s *Store) Get(id blob.CellID) (wire.Cell, bool) {
 	return wire.Cell{ID: id}, true
 }
 
+// Peek is the read-only hot-path lookup used by the sampling gateway:
+// it returns the stored cell WITHOUT copying the payload and with a
+// single map probe in real mode (Get pays a custody-line scan first).
+//
+// Aliasing contract: in real-payload mode the returned Cell's Data
+// slice aliases the store's internal storage. Callers must treat it as
+// read-only and must not retain it across StartSlot (which replaces
+// the store wholesale); a caller that needs a private copy — e.g. to
+// cache past the slot boundary — must copy Data itself. Mutating the
+// returned payload corrupts custody state for every later reader (see
+// TestStorePeekAliasing). In metadata mode the returned cell has a nil
+// payload, exactly like Get.
+func (s *Store) Peek(id blob.CellID) (wire.Cell, bool) {
+	if s.real {
+		c, ok := s.data[id.Index(s.n)]
+		return c, ok
+	}
+	if !s.Has(id) {
+		return wire.Cell{}, false
+	}
+	return wire.Cell{ID: id}, true
+}
+
 // LineCount returns the number of present cells on a tracked line
 // (zero for untracked lines).
 func (s *Store) LineCount(l blob.Line) int {

@@ -221,3 +221,54 @@ func TestStoreCompleteLines(t *testing.T) {
 		t.Fatalf("CompleteLines = %d", s.CompleteLines())
 	}
 }
+
+// TestStorePeekAliasing pins Peek's zero-copy contract (documented on
+// the method): in real mode the returned Data slice ALIASES the store's
+// internal payload — no copy is made — and Peek agrees with Get on
+// presence. The gateway's hot path depends on the no-copy guarantee;
+// this test is the tripwire if Peek ever starts copying (or Get stops
+// returning stored bytes).
+func TestStorePeekAliasing(t *testing.T) {
+	p := testStoreParams()
+	s := NewStore(p, testAssignment(), true, false)
+	id := blob.CellID{Row: 1, Col: 3}
+	payload := make([]byte, p.CellBytes)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if _, err := s.Add(wire.Cell{ID: id, Data: payload}); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok := s.Peek(id)
+	if !ok {
+		t.Fatal("Peek missed a stored cell")
+	}
+	if !bytes.Equal(got.Data, payload) {
+		t.Fatal("Peek returned wrong payload")
+	}
+	// Same backing array: element 0 of the returned slice and of a
+	// second Peek must share an address (zero-copy), and Get must serve
+	// the same bytes.
+	again, _ := s.Peek(id)
+	if &got.Data[0] != &again.Data[0] {
+		t.Fatal("Peek copied the payload; contract is zero-copy aliasing")
+	}
+	viaGet, ok := s.Get(id)
+	if !ok || !bytes.Equal(viaGet.Data, got.Data) {
+		t.Fatal("Get and Peek disagree")
+	}
+
+	// Absent cell and metadata-only mode still behave.
+	if _, ok := s.Peek(blob.CellID{Row: 1, Col: 4}); ok {
+		t.Fatal("Peek invented an absent cell")
+	}
+	meta := NewStore(p, testAssignment(), false, false)
+	if _, err := meta.Add(wire.Cell{ID: id}); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := meta.Peek(id)
+	if !ok || c.Data != nil {
+		t.Fatal("metadata-mode Peek should report presence with no payload")
+	}
+}

@@ -1,0 +1,428 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pandas/internal/blob"
+	"pandas/internal/core"
+	"pandas/internal/gateway"
+	"pandas/internal/metrics"
+	"pandas/internal/wire"
+)
+
+// GatewayLoadOptions parameterizes the sampling-gateway load harness:
+// how many synthetic light clients hammer the gateway each slot, how
+// their queries are distributed, and how the gateway itself is sized.
+type GatewayLoadOptions struct {
+	// Clients is the number of concurrent synthetic light clients
+	// (default 100,000 — the "millions of users" workload scaled to one
+	// gateway process).
+	Clients int
+	// QueriesPerClient is how many sampling queries each client issues
+	// per slot, sequentially (default 3; with Clients concurrent
+	// goroutines this keeps Clients queries in flight at all times).
+	QueriesPerClient int
+	// ZipfS is the zipf exponent of the cell-popularity distribution
+	// (must be > 1; default 1.2 — light clients sample mostly-uniform
+	// cells but block explorers and rollup watchers re-query hot ones).
+	ZipfS float64
+	// CacheBytes sizes the gateway hot-cell cache (default 8 MiB).
+	CacheBytes int64
+	// Workers sizes the gateway's upstream worker pool (default 64).
+	Workers int
+	// QueueDepth bounds the gateway admission queue (default 4096).
+	QueueDepth int
+	// MaxPerClient bounds one client's in-flight queries (default 8).
+	MaxPerClient int
+	// UpstreamBase and UpstreamJitter model the P2P fetch RTT the
+	// gateway pays per upstream cell: base plus a deterministic
+	// per-cell jitter in [0, UpstreamJitter) (defaults 500 µs + 2 ms).
+	UpstreamBase, UpstreamJitter time.Duration
+	// MaxRetries bounds per-query retry attempts after overload
+	// rejections (default 100; each waits the gateway's hint).
+	MaxRetries int
+}
+
+func (g GatewayLoadOptions) withDefaults() GatewayLoadOptions {
+	if g.Clients == 0 {
+		g.Clients = 100_000
+	}
+	if g.QueriesPerClient == 0 {
+		g.QueriesPerClient = 3
+	}
+	if g.ZipfS <= 1 {
+		g.ZipfS = 1.2
+	}
+	if g.CacheBytes == 0 {
+		g.CacheBytes = 8 << 20
+	}
+	if g.Workers == 0 {
+		g.Workers = 64
+	}
+	if g.QueueDepth == 0 {
+		g.QueueDepth = 4096
+	}
+	if g.MaxPerClient == 0 {
+		g.MaxPerClient = 8
+	}
+	if g.UpstreamBase == 0 {
+		g.UpstreamBase = 500 * time.Microsecond
+	}
+	if g.UpstreamJitter == 0 {
+		g.UpstreamJitter = 2 * time.Millisecond
+	}
+	if g.MaxRetries == 0 {
+		g.MaxRetries = 100
+	}
+	return g
+}
+
+// GatewaySlotStats reports one slot of gateway load.
+type GatewaySlotStats struct {
+	Slot            uint64
+	Queries         int64 // completed queries
+	CacheHits       int64
+	CoalescedJoins  int64
+	UpstreamFetches int64
+	Rejects         int64 // overload rejections (every one retried)
+	BatchVerifies   int64
+	BadProofs       int64
+	DistinctCells   int // distinct cells the clients drew this slot
+	P50, P90, P99   time.Duration
+	Max             time.Duration
+	Wall            time.Duration
+	QPS             float64
+}
+
+// GatewayLoadResult aggregates a gateway load run. The count fields are
+// deterministic for a fixed seed (queries are drawn from per-client
+// seeded streams and every query eventually completes); the latency
+// fields are wall-clock measurements and vary run to run.
+type GatewayLoadResult struct {
+	Options GatewayLoadOptions
+	Nodes   int
+	Slots   int
+	Cells   int // extended cells per slot (the query key space)
+
+	PerSlot []GatewaySlotStats
+
+	// Aggregates over all slots.
+	Queries         int64
+	CacheHits       int64
+	CoalescedJoins  int64
+	UpstreamFetches int64
+	Rejects         int64
+	BatchVerifies   int64
+	BadProofs       int64
+	HitRate         float64 // CacheHits / Queries
+	CoalesceFactor  float64 // queries resolved per upstream fetch (hits excluded)
+	Reduction       float64 // Queries / UpstreamFetches — the fan-out saving
+	P50, P99        time.Duration
+}
+
+// clusterUpstream adapts a simulated PANDAS deployment to the gateway's
+// Upstream interface: a fetch consults the custody nodes assigned to
+// the cell's row/column (zero-copy Store.Peek), then any node, then the
+// builder's prepared blob. Each fetch pays a simulated P2P RTT — the
+// cost the cache and coalescer exist to avoid.
+type clusterUpstream struct {
+	cluster      *core.Cluster
+	base, jitter time.Duration
+}
+
+func (u *clusterUpstream) FetchCell(ctx context.Context, slot uint64, id blob.CellID) (wire.Cell, error) {
+	if u.base > 0 || u.jitter > 0 {
+		d := u.base
+		if u.jitter > 0 {
+			d += time.Duration(gatewayKeyHash(slot, id) % uint64(u.jitter))
+		}
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return wire.Cell{}, ctx.Err()
+		}
+	}
+	table := u.cluster.Table()
+	nodes := u.cluster.Nodes()
+	for _, l := range []blob.Line{
+		{Kind: blob.Row, Index: id.Row},
+		{Kind: blob.Col, Index: id.Col},
+	} {
+		for _, holder := range table.Holders(l) {
+			if holder < 0 || holder >= len(nodes) {
+				continue
+			}
+			if st := nodes[holder].Store(); st != nil {
+				if c, ok := st.Peek(id); ok && c.Data != nil {
+					return c, nil
+				}
+			}
+		}
+	}
+	if c, ok := u.cluster.Builder().CellPayload(id); ok {
+		return c, nil
+	}
+	return wire.Cell{}, fmt.Errorf("experiments: cell %v not held anywhere", id)
+}
+
+// gatewayKeyHash is the deterministic per-cell jitter source.
+func gatewayKeyHash(slot uint64, id blob.CellID) uint64 {
+	x := slot*0x9e3779b97f4a7c15 ^ uint64(id.Row)<<16 ^ uint64(id.Col)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return x ^ x>>31
+}
+
+// GatewayLoad runs the sampling-as-a-service load harness: a simnet
+// PANDAS cluster runs each slot to populate custody stores, then
+// go.Clients synthetic light clients concurrently issue zipf-distributed
+// sampling queries against a gateway fronting the cluster. It reports
+// latency percentiles, cache hit rate, coalescing factor, and the
+// upstream-fetch reduction.
+//
+// The harness always runs the scaled-down real-payload geometry
+// (32x32, identical code paths): the full 512x512 extension takes
+// minutes of CPU and the gateway's behaviour is geometry-independent.
+func GatewayLoad(o Options, gwo GatewayLoadOptions) (*GatewayLoadResult, error) {
+	o = o.withDefaults()
+	gwo = gwo.withDefaults()
+	// Force the real data plane at test geometry: the gateway serves
+	// actual bytes and verifies actual proofs.
+	o.Core = core.TestConfig()
+	o.Core.RealPayloads = true
+	if o.Nodes > 500 {
+		o.Nodes = 500
+	}
+
+	c, err := newCluster(o, func(cc *core.ClusterConfig) {
+		cc.Core.Policy = core.PolicyRedundant
+	})
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, o.Core.Blob.BlobBytes())
+	for i := range data {
+		data[i] = byte(i*131 + 17)
+	}
+	if err := c.Builder().PrepareBlob(data); err != nil {
+		return nil, err
+	}
+
+	up := &clusterUpstream{cluster: c, base: gwo.UpstreamBase, jitter: gwo.UpstreamJitter}
+	gw, err := gateway.New(gateway.Config{
+		Upstream:     up,
+		CacheBytes:   gwo.CacheBytes,
+		Workers:      gwo.Workers,
+		QueueDepth:   gwo.QueueDepth,
+		MaxPerClient: gwo.MaxPerClient,
+		VerifyProofs: true,
+		RetainSlots:  2,
+		Recorder:     o.Core.Recorder,
+		Metrics:      o.Core.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer gw.Close()
+
+	cells := o.Core.Blob.ExtendedCells()
+	n := o.Core.Blob.N()
+	res := &GatewayLoadResult{
+		Options: gwo, Nodes: o.Nodes, Slots: o.Slots, Cells: cells,
+	}
+
+	// Per-client deterministic query streams: client i's zipf draws
+	// depend only on the run seed and i, never on goroutine scheduling.
+	rngs := make([]*rand.Rand, gwo.Clients)
+	zipfs := make([]*rand.Zipf, gwo.Clients)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(o.Seed ^ int64(i)*0x9e3779b9 ^ 0x676174))
+		zipfs[i] = rand.NewZipf(rngs[i], gwo.ZipfS, 1, uint64(cells-1))
+	}
+
+	lat := make([]time.Duration, gwo.Clients*gwo.QueriesPerClient)
+	drawn := make([][]blob.CellID, gwo.Clients)
+
+	var prev gateway.Stats
+	for s := 1; s <= o.Slots; s++ {
+		slot := uint64(s)
+		if _, err := c.RunSlot(slot); err != nil {
+			return nil, fmt.Errorf("slot %d: %w", s, err)
+		}
+		gw.StartSlot(slot, c.Builder().Commitment())
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		var firstErr error
+		var errMu sync.Mutex
+		wg.Add(gwo.Clients)
+		for i := 0; i < gwo.Clients; i++ {
+			i := i
+			go func() {
+				defer wg.Done()
+				drawn[i] = drawn[i][:0]
+				for q := 0; q < gwo.QueriesPerClient; q++ {
+					id := blob.CellIDFromIndex(int(zipfs[i].Uint64()), n)
+					drawn[i] = append(drawn[i], id)
+					t0 := time.Now()
+					if err := gatewayQueryRetry(gw, i, slot, id, gwo.MaxRetries); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+					lat[i*gwo.QueriesPerClient+q] = time.Since(t0)
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		if firstErr != nil {
+			return nil, firstErr
+		}
+
+		distinct := make(map[blob.CellID]struct{}, cells)
+		for i := range drawn {
+			for _, id := range drawn[i] {
+				distinct[id] = struct{}{}
+			}
+		}
+		cur := gw.Stats()
+		d := gatewayStatsDelta(cur, prev)
+		prev = cur
+
+		sorted := append([]time.Duration(nil), lat...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		pct := func(p float64) time.Duration {
+			idx := int(p / 100 * float64(len(sorted)-1))
+			return sorted[idx]
+		}
+		completed := int64(gwo.Clients * gwo.QueriesPerClient)
+		ss := GatewaySlotStats{
+			Slot:            slot,
+			Queries:         completed,
+			CacheHits:       d.CacheHits,
+			CoalescedJoins:  d.CoalescedJoins,
+			UpstreamFetches: d.UpstreamFetches,
+			Rejects:         d.Rejects,
+			BatchVerifies:   d.BatchVerifies,
+			BadProofs:       d.BadProofs,
+			DistinctCells:   len(distinct),
+			P50:             pct(50),
+			P90:             pct(90),
+			P99:             pct(99),
+			Max:             sorted[len(sorted)-1],
+			Wall:            wall,
+			QPS:             float64(completed) / wall.Seconds(),
+		}
+		res.PerSlot = append(res.PerSlot, ss)
+	}
+
+	for _, ss := range res.PerSlot {
+		res.Queries += ss.Queries
+		res.CacheHits += ss.CacheHits
+		res.CoalescedJoins += ss.CoalescedJoins
+		res.UpstreamFetches += ss.UpstreamFetches
+		res.Rejects += ss.Rejects
+		res.BatchVerifies += ss.BatchVerifies
+		res.BadProofs += ss.BadProofs
+	}
+	if res.Queries > 0 {
+		res.HitRate = float64(res.CacheHits) / float64(res.Queries)
+	}
+	if res.UpstreamFetches > 0 {
+		res.CoalesceFactor = float64(res.CoalescedJoins+res.UpstreamFetches) / float64(res.UpstreamFetches)
+		res.Reduction = float64(res.Queries) / float64(res.UpstreamFetches)
+	}
+	if len(res.PerSlot) > 0 {
+		// Aggregate percentiles: median of per-slot values keeps the
+		// report robust to one warm-up slot.
+		p50s := make([]time.Duration, 0, len(res.PerSlot))
+		p99s := make([]time.Duration, 0, len(res.PerSlot))
+		for _, ss := range res.PerSlot {
+			p50s = append(p50s, ss.P50)
+			p99s = append(p99s, ss.P99)
+		}
+		sort.Slice(p50s, func(a, b int) bool { return p50s[a] < p50s[b] })
+		sort.Slice(p99s, func(a, b int) bool { return p99s[a] < p99s[b] })
+		res.P50 = p50s[len(p50s)/2]
+		res.P99 = p99s[len(p99s)/2]
+	}
+	return res, nil
+}
+
+// gatewayQueryRetry issues one query, honouring retry-after hints on
+// overload. Every query eventually completes (or the run aborts), which
+// is what keeps the run's count accounting deterministic under load.
+func gatewayQueryRetry(gw *gateway.Gateway, client int, slot uint64, id blob.CellID, maxRetries int) error {
+	for attempt := 0; ; attempt++ {
+		_, err := gw.Query(context.Background(), client, slot, id)
+		if err == nil {
+			return nil
+		}
+		var ra *gateway.RetryAfterError
+		if errors.As(err, &ra) && attempt < maxRetries {
+			time.Sleep(ra.After)
+			continue
+		}
+		return fmt.Errorf("experiments: gateway query client=%d slot=%d cell=%v: %w", client, slot, id, err)
+	}
+}
+
+// fmtUs renders gateway-scale latencies (cache hits are microseconds;
+// the experiments-wide fmtMs would round them all to 0).
+func fmtUs(d time.Duration) string {
+	if d < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", d.Microseconds())
+}
+
+func gatewayStatsDelta(cur, prev gateway.Stats) gateway.Stats {
+	return gateway.Stats{
+		Queries:         cur.Queries - prev.Queries,
+		CacheHits:       cur.CacheHits - prev.CacheHits,
+		CoalescedJoins:  cur.CoalescedJoins - prev.CoalescedJoins,
+		UpstreamFetches: cur.UpstreamFetches - prev.UpstreamFetches,
+		UpstreamErrors:  cur.UpstreamErrors - prev.UpstreamErrors,
+		Rejects:         cur.Rejects - prev.Rejects,
+		BatchVerifies:   cur.BatchVerifies - prev.BatchVerifies,
+		VerifiedCells:   cur.VerifiedCells - prev.VerifiedCells,
+		BadProofs:       cur.BadProofs - prev.BadProofs,
+	}
+}
+
+// Render prints the gateway load table.
+func (r *GatewayLoadResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Gateway load — %d clients x %d queries/slot, zipf %.2f over %d cells, %d-node cluster\n",
+		r.Options.Clients, r.Options.QueriesPerClient, r.Options.ZipfS, r.Cells, r.Nodes)
+	tab := metrics.NewTable("slot", "queries", "hits", "joins", "upstream", "rejects", "p50us", "p99us", "kqps")
+	for _, ss := range r.PerSlot {
+		tab.AddRow(
+			fmt.Sprintf("%d", ss.Slot),
+			fmt.Sprintf("%d", ss.Queries),
+			fmt.Sprintf("%d", ss.CacheHits),
+			fmt.Sprintf("%d", ss.CoalescedJoins),
+			fmt.Sprintf("%d", ss.UpstreamFetches),
+			fmt.Sprintf("%d", ss.Rejects),
+			fmtUs(ss.P50),
+			fmtUs(ss.P99),
+			fmt.Sprintf("%.0f", ss.QPS/1000),
+		)
+	}
+	b.WriteString(tab.String())
+	fmt.Fprintf(&b, "aggregate: hit rate %.1f%%, coalesce %.1f queries/fetch, upstream reduction %.0fx, %d batch verifies, %d bad proofs\n",
+		r.HitRate*100, r.CoalesceFactor, r.Reduction, r.BatchVerifies, r.BadProofs)
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func gatewayTestOptions() (Options, GatewayLoadOptions) {
+	return Options{Nodes: 48, Slots: 2, Seed: 42},
+		GatewayLoadOptions{Clients: 300, QueriesPerClient: 3}
+}
+
+// TestGatewayLoadGolden pins the deterministic core of the load
+// harness for a fixed seed. Latency is wall-clock and varies run to
+// run, but the query streams are drawn from per-client seeded RNGs and
+// every query completes, so the COUNT accounting must be exact:
+//
+//   - each slot completes Clients x QueriesPerClient queries;
+//   - upstream fetches == distinct cells drawn that slot (the cache is
+//     ample and the coalescer dedups everything else — this equality IS
+//     the subsystem's reason to exist);
+//   - cache hits + coalesced joins covers every remaining query (the
+//     hit/join split depends on timing, their sum does not);
+//   - no rejects (clients issue sequentially, well under QueueDepth),
+//     no bad proofs, no upstream errors.
+func TestGatewayLoadGolden(t *testing.T) {
+	o, gwo := gatewayTestOptions()
+	res, err := GatewayLoad(o, gwo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerSlot) != o.Slots {
+		t.Fatalf("slots = %d, want %d", len(res.PerSlot), o.Slots)
+	}
+	perSlot := int64(gwo.Clients * gwo.QueriesPerClient)
+	for _, ss := range res.PerSlot {
+		if ss.Queries != perSlot {
+			t.Fatalf("slot %d: queries = %d, want %d", ss.Slot, ss.Queries, perSlot)
+		}
+		if ss.Rejects != 0 || ss.BadProofs != 0 {
+			t.Fatalf("slot %d: rejects=%d badProofs=%d, want 0/0", ss.Slot, ss.Rejects, ss.BadProofs)
+		}
+		if ss.UpstreamFetches != int64(ss.DistinctCells) {
+			t.Fatalf("slot %d: upstream=%d distinct=%d — coalescing+cache must reduce to one fetch per distinct cell",
+				ss.Slot, ss.UpstreamFetches, ss.DistinctCells)
+		}
+		if ss.CacheHits+ss.CoalescedJoins+ss.UpstreamFetches != ss.Queries {
+			t.Fatalf("slot %d: hits(%d)+joins(%d)+upstream(%d) != queries(%d)",
+				ss.Slot, ss.CacheHits, ss.CoalescedJoins, ss.UpstreamFetches, ss.Queries)
+		}
+		if ss.BatchVerifies == 0 {
+			t.Fatalf("slot %d: no batched verifications ran", ss.Slot)
+		}
+	}
+	if res.Reduction < 2 {
+		t.Fatalf("upstream reduction = %.1fx; zipf over %d cells with %d queries must dedup more",
+			res.Reduction, res.Cells, res.Queries)
+	}
+	if res.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// TestGatewayLoadDeterministic: two runs with the same seed agree on
+// every deterministic field (the golden contract the experiment report
+// relies on).
+func TestGatewayLoadDeterministic(t *testing.T) {
+	o, gwo := gatewayTestOptions()
+	a, err := GatewayLoad(o, gwo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GatewayLoad(o, gwo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Queries != b.Queries || a.UpstreamFetches != b.UpstreamFetches {
+		t.Fatalf("aggregate mismatch: %d/%d fetches vs %d/%d", a.Queries, a.UpstreamFetches, b.Queries, b.UpstreamFetches)
+	}
+	for i := range a.PerSlot {
+		sa, sb := a.PerSlot[i], b.PerSlot[i]
+		if sa.DistinctCells != sb.DistinctCells || sa.UpstreamFetches != sb.UpstreamFetches ||
+			sa.Queries != sb.Queries {
+			t.Fatalf("slot %d diverged across runs: %+v vs %+v", sa.Slot, sa, sb)
+		}
+	}
+	// A different seed draws a different workload.
+	o2 := o
+	o2.Seed = 43
+	c, err := GatewayLoad(o2, gwo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PerSlot[0].DistinctCells == a.PerSlot[0].DistinctCells &&
+		c.PerSlot[1].DistinctCells == a.PerSlot[1].DistinctCells {
+		t.Fatal("seed change did not change the workload")
+	}
+}
+
+// BenchmarkGatewayLoad100k is the acceptance workload: 100k concurrent
+// synthetic light clients per slot against a simnet cluster. Custom
+// metrics report what the table in EXPERIMENTS.md tracks.
+func BenchmarkGatewayLoad100k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := GatewayLoad(
+			Options{Nodes: 128, Slots: 2, Seed: 42},
+			GatewayLoadOptions{Clients: 100_000, QueriesPerClient: 3},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var qps float64
+		for _, ss := range res.PerSlot {
+			qps += ss.QPS
+		}
+		qps /= float64(len(res.PerSlot))
+		b.ReportMetric(qps, "qps")
+		b.ReportMetric(float64(res.P50.Nanoseconds())/1000, "p50_us")
+		b.ReportMetric(float64(res.P99.Nanoseconds())/1000, "p99_us")
+		b.ReportMetric(res.HitRate*100, "hit_%")
+		b.ReportMetric(res.Reduction, "reduction_x")
+		b.ReportMetric(res.CoalesceFactor, "coalesce_x")
+	}
+}

@@ -1,0 +1,214 @@
+package gateway
+
+import (
+	"sync"
+
+	"pandas/internal/blob"
+	"pandas/internal/kzg"
+	"pandas/internal/wire"
+)
+
+// Key identifies one cell of one slot — the unit of caching and request
+// coalescing at the gateway.
+type Key struct {
+	Slot uint64
+	ID   blob.CellID
+}
+
+// hash mixes the key into a shard selector (splitmix64-style finalizer:
+// cheap, and adjacent slots/cells land on different shards).
+func (k Key) hash() uint64 {
+	x := k.Slot*0x9e3779b97f4a7c15 ^ uint64(k.ID.Row)<<16 ^ uint64(k.ID.Col)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// entryOverhead approximates the bookkeeping bytes per cached cell
+// (entry struct, map bucket share, list links) so the byte budget
+// reflects real memory, not just payload bytes.
+const entryOverhead = 96
+
+// cacheEntry is one resident cell on a shard's LRU list.
+type cacheEntry struct {
+	key        Key
+	cell       wire.Cell
+	cost       int64
+	prev, next *cacheEntry
+}
+
+// cacheShard is an independently locked LRU segment. head is the most
+// recently used entry, tail the eviction candidate.
+type cacheShard struct {
+	mu    sync.Mutex
+	items map[Key]*cacheEntry
+	head  *cacheEntry
+	tail  *cacheEntry
+	bytes int64
+	max   int64
+}
+
+// Cache is the gateway's hot-cell store: a sharded LRU sized in BYTES,
+// not entries, so a budget set from available memory holds regardless
+// of cell geometry. Shards keep the lock uncontended under the
+// many-clients access pattern; per-slot eviction (EvictSlots) is wired
+// to the slot lifecycle so stale slots never crowd out the live one.
+type Cache struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+// NewCache builds a cache with the given total byte budget spread over
+// shards (rounded up to a power of two; 0 selects 16). maxBytes must be
+// positive.
+func NewCache(maxBytes int64, shards int) *Cache {
+	if shards <= 0 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := maxBytes / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].items = make(map[Key]*cacheEntry)
+		c.shards[i].max = per
+	}
+	return c
+}
+
+func (c *Cache) shard(k Key) *cacheShard { return &c.shards[k.hash()&c.mask] }
+
+// Get returns the cached cell and promotes it to most-recently-used.
+// The returned Cell's Data aliases the cached payload: gateway clients
+// receive it read-only (the cache stores the upstream's bytes exactly
+// once; see core.Store.Peek for the same contract one layer down).
+func (c *Cache) Get(k Key) (wire.Cell, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	e, ok := s.items[k]
+	if !ok {
+		s.mu.Unlock()
+		return wire.Cell{}, false
+	}
+	s.moveToFront(e)
+	cell := e.cell
+	s.mu.Unlock()
+	return cell, true
+}
+
+// Add inserts (or refreshes) a cell, evicting least-recently-used
+// entries while the shard exceeds its byte budget. A cell larger than
+// the whole shard budget is not cached.
+func (c *Cache) Add(k Key, cell wire.Cell) {
+	cost := int64(len(cell.Data)) + kzg.ProofSize + entryOverhead
+	s := c.shard(k)
+	s.mu.Lock()
+	if e, ok := s.items[k]; ok {
+		s.bytes += cost - e.cost
+		e.cell, e.cost = cell, cost
+		s.moveToFront(e)
+	} else if cost <= s.max {
+		e := &cacheEntry{key: k, cell: cell, cost: cost}
+		s.items[k] = e
+		s.pushFront(e)
+		s.bytes += cost
+	}
+	for s.bytes > s.max && s.tail != nil {
+		s.remove(s.tail)
+	}
+	s.mu.Unlock()
+}
+
+// EvictSlots drops every cached cell whose slot is strictly below
+// keepFrom; the slot lifecycle calls this when a slot ends so finalized
+// data stops occupying the hot set. It returns the entries removed.
+func (c *Cache) EvictSlots(keepFrom uint64) int {
+	removed := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for e := s.tail; e != nil; {
+			prev := e.prev
+			if e.key.Slot < keepFrom {
+				s.remove(e)
+				removed++
+			}
+			e = prev
+		}
+		s.mu.Unlock()
+	}
+	return removed
+}
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes returns the resident byte total (payloads plus bookkeeping).
+func (c *Cache) Bytes() int64 {
+	var b int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		b += s.bytes
+		s.mu.Unlock()
+	}
+	return b
+}
+
+// --- intrusive LRU list (shard lock held) ----------------------------
+
+func (s *cacheShard) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) moveToFront(e *cacheEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *cacheShard) remove(e *cacheEntry) {
+	s.unlink(e)
+	delete(s.items, e.key)
+	s.bytes -= e.cost
+}

@@ -1,0 +1,166 @@
+package gateway
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pandas/internal/blob"
+	"pandas/internal/kzg"
+	"pandas/internal/wire"
+)
+
+func cellOfSize(id blob.CellID, n int) wire.Cell {
+	return wire.Cell{ID: id, Data: make([]byte, n)}
+}
+
+const cellCost = 64 + kzg.ProofSize + entryOverhead // cost of a 64-byte cell
+
+// TestCacheByteBudget: the cache is sized in bytes, evicts in LRU order
+// when over budget, and a Get refreshes recency.
+func TestCacheByteBudget(t *testing.T) {
+	// Single shard so LRU order is globally observable; room for 3 cells.
+	c := NewCache(3*cellCost, 1)
+	key := func(i int) Key { return Key{Slot: 1, ID: blob.CellID{Row: uint16(i)}} }
+	for i := 0; i < 3; i++ {
+		c.Add(key(i), cellOfSize(key(i).ID, 64))
+	}
+	if c.Len() != 3 || c.Bytes() != 3*cellCost {
+		t.Fatalf("len=%d bytes=%d, want 3/%d", c.Len(), c.Bytes(), 3*cellCost)
+	}
+	// Touch key(0): key(1) becomes the LRU victim.
+	if _, ok := c.Get(key(0)); !ok {
+		t.Fatal("key(0) missing")
+	}
+	c.Add(key(3), cellOfSize(key(3).ID, 64))
+	if c.Len() != 3 {
+		t.Fatalf("len=%d after eviction, want 3", c.Len())
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("LRU victim key(1) still cached")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(key(i)); !ok {
+			t.Fatalf("key(%d) evicted unexpectedly", i)
+		}
+	}
+	if c.Bytes() > 3*cellCost {
+		t.Fatalf("bytes=%d exceeds budget %d", c.Bytes(), 3*cellCost)
+	}
+}
+
+// TestCacheRefreshInPlace: re-adding a key updates bytes, not count.
+func TestCacheRefreshInPlace(t *testing.T) {
+	c := NewCache(1<<20, 1)
+	k := Key{Slot: 1, ID: blob.CellID{Row: 1, Col: 2}}
+	c.Add(k, cellOfSize(k.ID, 64))
+	c.Add(k, cellOfSize(k.ID, 128))
+	if c.Len() != 1 {
+		t.Fatalf("len=%d, want 1", c.Len())
+	}
+	if want := int64(128 + kzg.ProofSize + entryOverhead); c.Bytes() != want {
+		t.Fatalf("bytes=%d, want %d", c.Bytes(), want)
+	}
+	got, ok := c.Get(k)
+	if !ok || len(got.Data) != 128 {
+		t.Fatalf("refreshed entry: ok=%v len=%d", ok, len(got.Data))
+	}
+}
+
+// TestCacheOversizedCell: a cell bigger than the whole shard budget is
+// refused rather than evicting everything else.
+func TestCacheOversizedCell(t *testing.T) {
+	c := NewCache(2*cellCost, 1)
+	small := Key{Slot: 1, ID: blob.CellID{Row: 1}}
+	c.Add(small, cellOfSize(small.ID, 64))
+	big := Key{Slot: 1, ID: blob.CellID{Row: 2}}
+	c.Add(big, cellOfSize(big.ID, 4096))
+	if _, ok := c.Get(big); ok {
+		t.Fatal("oversized cell was cached")
+	}
+	if _, ok := c.Get(small); !ok {
+		t.Fatal("oversized insert evicted resident entries")
+	}
+}
+
+// TestCacheEvictSlots: the slot-lifecycle hook removes exactly the
+// entries below the retention floor, across shards.
+func TestCacheEvictSlots(t *testing.T) {
+	c := NewCache(1<<20, 4)
+	perSlot := 32
+	for slot := uint64(1); slot <= 3; slot++ {
+		for i := 0; i < perSlot; i++ {
+			k := Key{Slot: slot, ID: blob.CellID{Row: uint16(i), Col: uint16(slot)}}
+			c.Add(k, cellOfSize(k.ID, 64))
+		}
+	}
+	if c.Len() != 3*perSlot {
+		t.Fatalf("len=%d, want %d", c.Len(), 3*perSlot)
+	}
+	if removed := c.EvictSlots(2); removed != perSlot {
+		t.Fatalf("EvictSlots(2) removed %d, want %d", removed, perSlot)
+	}
+	if c.Len() != 2*perSlot {
+		t.Fatalf("len=%d after eviction, want %d", c.Len(), 2*perSlot)
+	}
+	for slot := uint64(1); slot <= 3; slot++ {
+		k := Key{Slot: slot, ID: blob.CellID{Row: 0, Col: uint16(slot)}}
+		_, ok := c.Get(k)
+		if want := slot >= 2; ok != want {
+			t.Fatalf("slot %d present=%v, want %v", slot, ok, want)
+		}
+	}
+	if want := int64(2*perSlot) * cellCost; c.Bytes() != want {
+		t.Fatalf("bytes=%d after eviction, want %d", c.Bytes(), want)
+	}
+}
+
+// TestCacheConcurrent exercises the sharded paths under the race
+// detector: concurrent Add/Get across slots interleaved with slot
+// eviction must stay consistent.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(64<<10, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for slot := uint64(1); slot <= 8; slot++ {
+				for i := 0; i < 64; i++ {
+					k := Key{Slot: slot, ID: blob.CellID{Row: uint16(i), Col: uint16(w)}}
+					c.Add(k, cellOfSize(k.ID, 64))
+					c.Get(k)
+				}
+				if w == 0 && slot > 2 {
+					c.EvictSlots(slot - 2)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c.EvictSlots(9)
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("after full eviction: len=%d bytes=%d, want 0/0", c.Len(), c.Bytes())
+	}
+}
+
+func TestKeyHashSpreads(t *testing.T) {
+	seen := make(map[uint64]int)
+	for slot := uint64(0); slot < 4; slot++ {
+		for r := 0; r < 16; r++ {
+			for col := 0; col < 16; col++ {
+				k := Key{Slot: slot, ID: blob.CellID{Row: uint16(r), Col: uint16(col)}}
+				seen[k.hash()&15]++
+			}
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("hash uses %d of 16 shards: %v", len(seen), seen)
+	}
+	for shard, n := range seen {
+		if n < 16 {
+			t.Fatal(fmt.Sprintf("shard %d badly underloaded: %d of 1024", shard, n))
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package gateway
+
+import (
+	"sync"
+
+	"pandas/internal/wire"
+)
+
+// flight is one in-progress upstream fetch that any number of waiters
+// share. done is closed exactly once, after cell/err are set; waiters
+// read them only after observing the close, so no lock is needed on
+// the read side.
+type flight struct {
+	done    chan struct{}
+	cell    wire.Cell
+	err     error
+	waiters int // joined queries, including the initiator (shard lock)
+}
+
+// coShard is an independently locked slice of the in-flight table.
+type coShard struct {
+	mu      sync.Mutex
+	flights map[Key]*flight
+}
+
+// coalescer is the singleflight layer: the first query for a missing
+// cell creates a flight and triggers ONE upstream fetch; every
+// concurrent query for the same cell joins that flight and shares the
+// result. This is what keeps upstream fan-out proportional to distinct
+// cells rather than to client count (Chaudhuri et al. 2024 show this
+// dedup is what makes aggregate DAS bandwidth sublinear in clients).
+type coalescer struct {
+	shards []coShard
+	mask   uint64
+}
+
+func newCoalescer(shards int) *coalescer {
+	if shards <= 0 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &coalescer{shards: make([]coShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].flights = make(map[Key]*flight)
+	}
+	return c
+}
+
+func (c *coalescer) shard(k Key) *coShard { return &c.shards[k.hash()&c.mask] }
+
+// join returns the flight for the key, creating it when none is in
+// progress. created reports whether THIS call must arrange the upstream
+// fetch; waiters is the number of queries sharing the flight so far
+// (1 for the creator). A waiter whose context expires simply abandons
+// the flight — the fetch continues for the remaining waiters, so one
+// impatient client never cancels work others depend on.
+func (c *coalescer) join(k Key) (f *flight, created bool, waiters int) {
+	s := c.shard(k)
+	s.mu.Lock()
+	f, ok := s.flights[k]
+	if !ok {
+		f = &flight{done: make(chan struct{})}
+		s.flights[k] = f
+		created = true
+	}
+	f.waiters++
+	waiters = f.waiters
+	s.mu.Unlock()
+	return f, created, waiters
+}
+
+// complete resolves the flight: records the outcome, wakes every
+// waiter, and removes the entry so later queries for the key start
+// fresh (normally they hit the cache instead).
+func (c *coalescer) complete(k Key, cell wire.Cell, err error) {
+	s := c.shard(k)
+	s.mu.Lock()
+	f, ok := s.flights[k]
+	if ok {
+		delete(s.flights, k)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	f.cell, f.err = cell, err
+	close(f.done)
+}
+
+// failAll resolves every in-flight fetch with err (gateway shutdown).
+func (c *coalescer) failAll(err error) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		flights := s.flights
+		s.flights = make(map[Key]*flight)
+		s.mu.Unlock()
+		for _, f := range flights {
+			f.err = err
+			close(f.done)
+		}
+	}
+}
+
+// inflight returns the number of open flights (tests/metrics).
+func (c *coalescer) inflight() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.flights)
+		s.mu.Unlock()
+	}
+	return n
+}

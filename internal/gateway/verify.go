@@ -1,0 +1,151 @@
+package gateway
+
+import (
+	"time"
+
+	"pandas/internal/blob"
+	"pandas/internal/kzg"
+	"pandas/internal/wire"
+)
+
+// verifyJob is one upstream response awaiting proof verification. done
+// is invoked exactly once with the verdict, from the verifier
+// goroutine.
+type verifyJob struct {
+	commit kzg.Commitment
+	key    Key
+	cell   wire.Cell
+	done   func(ok bool)
+}
+
+// verifier amortizes KZG proof checks across queued responses: instead
+// of verifying each upstream response on its own goroutine, responses
+// queue into a bounded channel and a single collector drains them in
+// batches — one pooled kzg scratch state (PR 2's allocation-free hash
+// path) serves the whole batch, and per-batch bookkeeping (trace event,
+// metric updates) is paid once per batch instead of once per cell.
+type verifier struct {
+	ch      chan verifyJob
+	batch   int
+	window  time.Duration
+	stop    chan struct{}
+	stopped chan struct{}
+	// onBatch observes each completed batch: size and failure count.
+	onBatch func(size, bad int)
+}
+
+func newVerifier(queue, batch int, window time.Duration, onBatch func(size, bad int)) *verifier {
+	if queue < 1 {
+		queue = 256
+	}
+	if batch < 1 {
+		batch = 64
+	}
+	if window <= 0 {
+		window = 200 * time.Microsecond
+	}
+	v := &verifier{
+		ch:      make(chan verifyJob, queue),
+		batch:   batch,
+		window:  window,
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+		onBatch: onBatch,
+	}
+	go v.run()
+	return v
+}
+
+// submit enqueues a response for verification. It blocks when the
+// verify queue is full — backpressure propagates to the fetch workers
+// rather than spawning goroutines or dropping verdicts.
+func (v *verifier) submit(j verifyJob) { v.ch <- j }
+
+// close drains outstanding jobs and stops the collector.
+func (v *verifier) close() {
+	close(v.stop)
+	<-v.stopped
+}
+
+// run is the collector loop: block for the first job, then gather more
+// until the batch is full or the coalescing window expires, then verify
+// the whole batch with one pooled scratch pass.
+func (v *verifier) run() {
+	defer close(v.stopped)
+	jobs := make([]verifyJob, 0, v.batch)
+	timer := time.NewTimer(v.window)
+	defer timer.Stop()
+	for {
+		jobs = jobs[:0]
+		select {
+		case j := <-v.ch:
+			jobs = append(jobs, j)
+		case <-v.stop:
+			// Drain whatever is queued, then exit.
+			for {
+				select {
+				case j := <-v.ch:
+					v.flush([]verifyJob{j})
+				default:
+					return
+				}
+			}
+		}
+		// First job in hand: gather until batch-full or window expiry.
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(v.window)
+	gather:
+		for len(jobs) < v.batch {
+			select {
+			case j := <-v.ch:
+				jobs = append(jobs, j)
+			case <-timer.C:
+				break gather
+			case <-v.stop:
+				break gather
+			}
+		}
+		v.flush(jobs)
+	}
+}
+
+// flush verifies one batch. Jobs may span slots (and therefore
+// commitments); each commitment group goes through kzg.VerifyBatch as
+// one run so the pooled scratch still serves every cell.
+func (v *verifier) flush(jobs []verifyJob) {
+	if len(jobs) == 0 {
+		return
+	}
+	ids := make([]blob.CellID, 0, len(jobs))
+	cells := make([][]byte, 0, len(jobs))
+	proofs := make([]kzg.Proof, 0, len(jobs))
+	ok := make([]bool, len(jobs))
+	bad := 0
+	for start := 0; start < len(jobs); {
+		end := start + 1
+		for end < len(jobs) && jobs[end].commit == jobs[start].commit {
+			end++
+		}
+		group := jobs[start:end]
+		ids, cells, proofs = ids[:0], cells[:0], proofs[:0]
+		for _, j := range group {
+			ids = append(ids, j.cell.ID)
+			cells = append(cells, j.cell.Data)
+			proofs = append(proofs, j.cell.Proof)
+		}
+		valid := kzg.VerifyBatch(group[0].commit, ids, cells, proofs, ok[start:end])
+		bad += len(group) - valid
+		start = end
+	}
+	if v.onBatch != nil {
+		v.onBatch(len(jobs), bad)
+	}
+	for i, j := range jobs {
+		j.done(ok[i])
+	}
+}

@@ -31,6 +31,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
+	"hash"
+	"sync"
 
 	"pandas/internal/blob"
 )
@@ -95,32 +97,73 @@ func merkleRoot(level [][32]byte) [32]byte {
 	return level[0]
 }
 
+// scratch holds the reusable hash states and digest buffers of one
+// proof computation. Pooling it keeps Prove/Verify/VerifyBatch
+// allocation-free in steady state: the two SHA-256 states are Reset
+// between cells and the digests land in fixed arrays.
+type scratch struct {
+	h1, h2 hash.Hash
+	d1, d2 [sha256.Size]byte
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{h1: sha256.New(), h2: sha256.New()}
+}}
+
+// proveInto computes the proof for one cell using pooled scratch state.
+func (s *scratch) proveInto(c Commitment, id blob.CellID, cell []byte) Proof {
+	s.h1.Reset()
+	s.h1.Write(c[:])
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:2], id.Row)
+	binary.BigEndian.PutUint16(hdr[2:4], id.Col)
+	s.h1.Write(hdr[:])
+	s.h1.Write(cell)
+	s.h1.Sum(s.d1[:0])
+	// Extend to 48 bytes with a second domain-separated digest.
+	s.h2.Reset()
+	s.h2.Write([]byte{0x01})
+	s.h2.Write(s.d1[:])
+	s.h2.Sum(s.d2[:0])
+	var p Proof
+	copy(p[:32], s.d1[:])
+	copy(p[32:], s.d2[:16])
+	return p
+}
+
 // Prove produces the 48-byte proof for a single cell. Only a party holding
 // the commitment and the cell payload (i.e. the builder, or a node that
 // already verified the cell) can produce it.
 func Prove(c Commitment, id blob.CellID, cell []byte) Proof {
-	h := sha256.New()
-	h.Write(c[:])
-	var hdr [4]byte
-	binary.BigEndian.PutUint16(hdr[0:2], id.Row)
-	binary.BigEndian.PutUint16(hdr[2:4], id.Col)
-	h.Write(hdr[:])
-	h.Write(cell)
-	d1 := h.Sum(nil)
-	// Extend to 48 bytes with a second domain-separated digest.
-	h2 := sha256.New()
-	h2.Write([]byte{0x01})
-	h2.Write(d1)
-	d2 := h2.Sum(nil)
-	var p Proof
-	copy(p[:32], d1)
-	copy(p[32:], d2[:16])
+	s := scratchPool.Get().(*scratch)
+	p := s.proveInto(c, id, cell)
+	scratchPool.Put(s)
 	return p
 }
 
 // Verify checks a cell payload against the commitment using its proof.
 func Verify(c Commitment, id blob.CellID, cell []byte, p Proof) bool {
 	return Prove(c, id, cell) == p
+}
+
+// VerifyBatch checks many cells against one commitment, amortizing the
+// scratch state across the whole batch: one pooled pair of hash states
+// serves every cell, so queued gateway responses verify without
+// per-cell allocation. ids, cells, and proofs are parallel slices; ok
+// (which must be at least as long as ids) receives the per-cell verdict
+// and the number of valid cells is returned.
+func VerifyBatch(c Commitment, ids []blob.CellID, cells [][]byte, proofs []Proof, ok []bool) int {
+	s := scratchPool.Get().(*scratch)
+	valid := 0
+	for i, id := range ids {
+		good := s.proveInto(c, id, cells[i]) == proofs[i]
+		ok[i] = good
+		if good {
+			valid++
+		}
+	}
+	scratchPool.Put(s)
+	return valid
 }
 
 // ProveAll computes proofs for every cell of the extended matrix, returned

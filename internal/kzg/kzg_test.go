@@ -164,3 +164,70 @@ func BenchmarkVerify(b *testing.B) {
 		}
 	}
 }
+
+// TestVerifyBatchMatchesVerify: VerifyBatch must agree with per-cell
+// Verify on every cell and report the valid count, with corrupted
+// cells flagged individually.
+func TestVerifyBatchMatchesVerify(t *testing.T) {
+	e := makeExtended(t, 11)
+	c := Commit(e)
+	var ids []blob.CellID
+	var cells [][]byte
+	var proofs []Proof
+	for r := 0; r < 4; r++ {
+		for col := 0; col < 4; col++ {
+			id := blob.CellID{Row: uint16(r), Col: uint16(col)}
+			cell := e.Cell(id)
+			ids = append(ids, id)
+			cells = append(cells, cell)
+			proofs = append(proofs, Prove(c, id, cell))
+		}
+	}
+	ok := make([]bool, len(ids))
+	if valid := VerifyBatch(c, ids, cells, proofs, ok); valid != len(ids) {
+		t.Fatalf("valid = %d, want %d", valid, len(ids))
+	}
+	for i := range ok {
+		if !ok[i] {
+			t.Fatalf("cell %d rejected in all-good batch", i)
+		}
+	}
+	// Corrupt two entries: one proof, one payload.
+	proofs[3][0] ^= 0xff
+	cells[9] = append([]byte(nil), cells[9]...)
+	cells[9][0] ^= 1
+	if valid := VerifyBatch(c, ids, cells, proofs, ok); valid != len(ids)-2 {
+		t.Fatalf("valid = %d, want %d", valid, len(ids)-2)
+	}
+	for i := range ok {
+		want := i != 3 && i != 9
+		if ok[i] != want {
+			t.Fatalf("cell %d: ok=%v, want %v", i, ok[i], want)
+		}
+		if got := Verify(c, ids[i], cells[i], proofs[i]); got != ok[i] {
+			t.Fatalf("cell %d: batch=%v disagrees with Verify=%v", i, ok[i], got)
+		}
+	}
+}
+
+func BenchmarkVerifyBatch64(b *testing.B) {
+	e := makeExtended(b, 12)
+	c := Commit(e)
+	const n = 64
+	ids := make([]blob.CellID, n)
+	cells := make([][]byte, n)
+	proofs := make([]Proof, n)
+	for i := 0; i < n; i++ {
+		ids[i] = blob.CellID{Row: uint16(i / 8), Col: uint16(i % 8)}
+		cells[i] = e.Cell(ids[i])
+		proofs[i] = Prove(c, ids[i], cells[i])
+	}
+	ok := make([]bool, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if VerifyBatch(c, ids, cells, proofs, ok) != n {
+			b.Fatal("batch failed")
+		}
+	}
+}

@@ -98,3 +98,59 @@ END {
 }' "$OBSV_RAW" > "$OBSV_OUT"
 
 echo "wrote $OBSV_OUT (disabled-recorder gate passed)"
+
+# --- Sampling gateway --------------------------------------------------
+# Gateway micro-benches (hit path, miss path, cache) plus the acceptance
+# workload: 100k concurrent synthetic light clients per slot against a
+# simnet cluster. Gate: the coalescer+cache must cut upstream fetches by
+# >= 10x on the zipf workload (the subsystem's reason to exist).
+GW_OUT="BENCH_gateway.json"
+GW_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$OBSV_RAW" "$GW_RAW"' EXIT
+
+echo "== gateway benchmarks (gate: upstream reduction >= 10x at 100k clients)"
+go test -run '^$' -bench 'BenchmarkQueryCacheHit|BenchmarkQueryMissVerified|BenchmarkCacheAddGet' \
+	-benchmem -benchtime "$BENCHTIME" ./internal/gateway | tee "$GW_RAW"
+go test -run '^$' -bench 'BenchmarkVerifyBatch64' -benchmem \
+	-benchtime "$BENCHTIME" ./internal/kzg | tee -a "$GW_RAW"
+go test -run '^$' -bench 'BenchmarkGatewayLoad100k' -benchtime 1x \
+	-timeout 20m ./internal/experiments | tee -a "$GW_RAW"
+
+awk '
+BEGIN { fail = 0; n = 0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	line = ""
+	for (i = 2; i < NF; i++) {
+		unit = $(i+1)
+		key = ""
+		if (unit == "ns/op") key = "ns_per_op"
+		else if (unit == "B/op") key = "bytes_per_op"
+		else if (unit == "allocs/op") key = "allocs_per_op"
+		else if (unit == "qps") key = "qps"
+		else if (unit == "p50_us") key = "p50_us"
+		else if (unit == "p99_us") key = "p99_us"
+		else if (unit == "hit_%") key = "hit_rate_pct"
+		else if (unit == "reduction_x") key = "upstream_reduction_x"
+		else if (unit == "coalesce_x") key = "coalesce_x"
+		if (key == "") continue
+		if (line != "") line = line ", "
+		line = line sprintf("\"%s\": %s", key, $i)
+		if (name == "BenchmarkGatewayLoad100k" && key == "upstream_reduction_x" && $i + 0 < 10) {
+			printf "GATE FAIL: %s reduction %s < 10x\n", name, $i > "/dev/stderr"
+			fail = 1
+		}
+	}
+	if (line == "") next
+	out[n++] = sprintf("    \"%s\": {%s}", name, line)
+}
+END {
+	printf "{\n  \"gate\": {\"benchmark\": \"BenchmarkGatewayLoad100k\", \"min_upstream_reduction_x\": 10, \"clients_per_slot\": 100000},\n"
+	printf "  \"benchmarks\": {\n"
+	for (i = 0; i < n; i++) printf "%s%s\n", out[i], (i < n-1 ? "," : "")
+	printf "  }\n}\n"
+	exit fail
+}' "$GW_RAW" > "$GW_OUT"
+
+echo "wrote $GW_OUT (gateway reduction gate passed)"
