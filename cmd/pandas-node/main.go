@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"net"
 	"net/http"
 	"os"
 	"strconv"
@@ -192,28 +193,37 @@ func run(args []string) error {
 	// arrival, so the gateway serves them without re-proving.
 	var gw *gateway.Gateway
 	if *gwAddr != "" {
-		up := gateway.UpstreamFunc(func(ctx context.Context, _ uint64, id blob.CellID) (wire.Cell, error) {
+		up := gateway.UpstreamFunc(func(ctx context.Context, qslot uint64, id blob.CellID) (wire.Cell, error) {
 			type peeked struct {
 				cell wire.Cell
-				ok   bool
+				err  error
 			}
 			ch := make(chan peeked, 1)
 			ep.Run(func() {
+				// The custody store only ever holds the node's CURRENT
+				// slot; serving a query for any other slot from it would
+				// hand out current-slot bytes mislabeled (and cached) as
+				// that slot. Checked on the event loop, where slot advances.
+				if qslot != slot {
+					ch <- peeked{err: fmt.Errorf("slot %d not in custody (current slot %d)", qslot, slot)}
+					return
+				}
 				c, ok := node.Store().Peek(id)
-				if ok && c.Data != nil {
+				if !ok {
+					ch <- peeked{err: fmt.Errorf("cell %v not in custody", id)}
+					return
+				}
+				if c.Data != nil {
 					// Peek aliases custody state that the node loop may
 					// replace at the next slot; the gateway retains cells
 					// in its cache, so take a private copy here.
 					c.Data = append([]byte(nil), c.Data...)
 				}
-				ch <- peeked{c, ok}
+				ch <- peeked{cell: c}
 			})
 			select {
 			case r := <-ch:
-				if !r.ok {
-					return wire.Cell{}, fmt.Errorf("cell %v not in custody", id)
-				}
-				return r.cell, nil
+				return r.cell, r.err
 			case <-ctx.Done():
 				return wire.Cell{}, ctx.Err()
 			}
@@ -304,10 +314,17 @@ func run(args []string) error {
 }
 
 // clientKey folds a remote address into the gateway's per-client
-// fairness key: one TCP peer = one client budget.
+// fairness key. Only the host half counts — keying on the full
+// RemoteAddr (host:ephemeral-port) would grant a fresh MaxPerClient
+// budget per TCP connection, letting one client dodge fairness by
+// opening more connections.
 func clientKey(remoteAddr string) int {
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil {
+		host = remoteAddr
+	}
 	h := fnv.New32a()
-	h.Write([]byte(remoteAddr))
+	h.Write([]byte(host))
 	return int(h.Sum32())
 }
 

@@ -55,6 +55,10 @@ var (
 	// ErrUnknownSlot reports a query for a slot the gateway has no
 	// commitment for (verification enabled, StartSlot never called).
 	ErrUnknownSlot = errors.New("gateway: unknown slot")
+	// ErrWrongCell reports an upstream response whose cell ID does not
+	// match the queried coordinates; the response is discarded before
+	// verification or caching.
+	ErrWrongCell = errors.New("gateway: upstream returned wrong cell")
 )
 
 // RetryAfterError is the concrete overload rejection: clients should
@@ -151,7 +155,7 @@ type Stats struct {
 	CoalescedJoins  int64
 	UpstreamFetches int64
 	UpstreamErrors  int64
-	Rejects         int64 // admission rejections (queue-full or client budget)
+	Rejects         int64 // queries returning ErrOverloaded (queue-full, client budget, or coalesced onto a rejected flight)
 	BatchVerifies   int64
 	VerifiedCells   int64
 	BadProofs       int64
@@ -388,7 +392,10 @@ func (g *Gateway) Query(ctx context.Context, client int, slot uint64, id blob.Ce
 	case <-f.done:
 		if f.err != nil {
 			if errors.Is(f.err, ErrOverloaded) {
-				return wire.Cell{}, g.rejectQuiet()
+				// This waiter's query returns ErrOverloaded too, so it
+				// counts as its own rejection — the initiator counted only
+				// itself, not the flight's waiters.
+				return wire.Cell{}, g.reject()
 			}
 			return wire.Cell{}, f.err
 		}
@@ -406,18 +413,14 @@ func (g *Gateway) Query(ctx context.Context, client int, slot uint64, id blob.Ce
 	}
 }
 
-// reject counts and builds an overload rejection.
+// reject counts and builds an overload rejection. Every query that
+// returns ErrOverloaded goes through here exactly once — initiators and
+// coalesced waiters alike — so Stats.Rejects is the true rejection rate.
 func (g *Gateway) reject() error {
 	g.rejects.Add(1)
 	if g.mReject != nil {
 		g.mReject.Inc()
 	}
-	return &RetryAfterError{After: g.cfg.RetryAfter}
-}
-
-// rejectQuiet builds the rejection without double-counting (the
-// initiating waiter already counted the queue-full event).
-func (g *Gateway) rejectQuiet() error {
 	return &RetryAfterError{After: g.cfg.RetryAfter}
 }
 
@@ -474,6 +477,20 @@ func (g *Gateway) runFetch(key Key) {
 			g.mUpErr.Inc()
 		}
 		g.co.complete(key, wire.Cell{}, err)
+		return
+	}
+	// A response must carry the queried coordinates. Without this check a
+	// malicious upstream could answer (r,c) with a different cell — and,
+	// on the verified path, a proof valid for that OTHER cell — and have
+	// it cached and served under the requested key. The verifier also
+	// checks proofs against key.ID, but reject the swap on both paths.
+	if cell.ID != key.ID {
+		g.upErrs.Add(1)
+		if g.mUpErr != nil {
+			g.mUpErr.Inc()
+		}
+		g.co.complete(key, wire.Cell{}, fmt.Errorf("%w: asked %v, got %v (slot %d)",
+			ErrWrongCell, key.ID, cell.ID, key.Slot))
 		return
 	}
 	if !g.cfg.VerifyProofs {

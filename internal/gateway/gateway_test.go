@@ -194,6 +194,11 @@ func TestOverloadQueueFull(t *testing.T) {
 	if !errors.As(firstReject, &ra) || ra.After != 7*time.Millisecond {
 		t.Fatalf("rejection = %v, want *RetryAfterError{7ms}", firstReject)
 	}
+	// Every query that returned ErrOverloaded is counted — coalesced
+	// waiters on a rejected flight included, not just initiators.
+	if got := g.Stats().Rejects; got != int64(rejected) {
+		t.Fatalf("Stats.Rejects = %d, want %d (one per rejected query)", got, rejected)
+	}
 	close(up.release)
 	for i := 0; i < 2; i++ {
 		if err := <-errc; err != nil {
@@ -294,6 +299,67 @@ func TestVerifyRejectsBadProof(t *testing.T) {
 	}
 	if g.Stats().VerifiedCells != 1 {
 		t.Fatalf("verified = %d, want 1", g.Stats().VerifiedCells)
+	}
+}
+
+// TestWrongCellRejected: an upstream that answers a query with a
+// DIFFERENT cell — one whose proof is valid for its own coordinates —
+// must be rejected on both the unverified and verified paths, and
+// nothing may be cached under the queried key.
+func TestWrongCellRejected(t *testing.T) {
+	asked := blob.CellID{Row: 1, Col: 2}
+	other := blob.CellID{Row: 3, Col: 4}
+	var commit kzg.Commitment
+	copy(commit[:], "wrong-cell-blob")
+	swap := UpstreamFunc(func(ctx context.Context, slot uint64, id blob.CellID) (wire.Cell, error) {
+		c := testCell(other)
+		c.Proof = kzg.Prove(commit, other, c.Data)
+		return c, nil
+	})
+	for _, verify := range []bool{false, true} {
+		g, err := New(Config{Upstream: swap, VerifyProofs: verify, VerifyWindow: 50 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.StartSlot(1, commit)
+		if _, qerr := g.Query(context.Background(), 1, 1, asked); !errors.Is(qerr, ErrWrongCell) {
+			g.Close()
+			t.Fatalf("verify=%v: err = %v, want ErrWrongCell", verify, qerr)
+		}
+		if _, ok := g.Cache().Get(Key{Slot: 1, ID: asked}); ok {
+			g.Close()
+			t.Fatalf("verify=%v: swapped cell was cached under the queried key", verify)
+		}
+		g.Close()
+	}
+}
+
+// TestVerifyUsesRequestedCoordinates: an upstream that RELABELS a cell
+// (cell.ID matches the query, but payload+proof belong to different
+// coordinates) passes the ID check yet must fail verification — the
+// verifier proves against the requested key, not upstream's claim.
+func TestVerifyUsesRequestedCoordinates(t *testing.T) {
+	asked := blob.CellID{Row: 1, Col: 2}
+	other := blob.CellID{Row: 3, Col: 4}
+	var commit kzg.Commitment
+	copy(commit[:], "relabel-blob")
+	up := UpstreamFunc(func(ctx context.Context, slot uint64, id blob.CellID) (wire.Cell, error) {
+		c := testCell(other)
+		c.Proof = kzg.Prove(commit, other, c.Data)
+		c.ID = asked
+		return c, nil
+	})
+	g, err := New(Config{Upstream: up, VerifyProofs: true, VerifyWindow: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	g.StartSlot(1, commit)
+	if _, qerr := g.Query(context.Background(), 1, 1, asked); !errors.Is(qerr, ErrBadProof) {
+		t.Fatalf("relabeled cell: err = %v, want ErrBadProof", qerr)
+	}
+	if _, ok := g.Cache().Get(Key{Slot: 1, ID: asked}); ok {
+		t.Fatal("relabeled cell was cached under the queried key")
 	}
 }
 

@@ -134,7 +134,11 @@ func (v *verifier) flush(jobs []verifyJob) {
 		group := jobs[start:end]
 		ids, cells, proofs = ids[:0], cells[:0], proofs[:0]
 		for _, j := range group {
-			ids = append(ids, j.cell.ID)
+			// Verify against the REQUESTED coordinates, never the
+			// upstream-supplied cell.ID: a response carrying a different
+			// cell (with a proof valid for that other cell) must fail here,
+			// not pass and get cached under the queried key.
+			ids = append(ids, j.key.ID)
 			cells = append(cells, j.cell.Data)
 			proofs = append(proofs, j.cell.Proof)
 		}
