@@ -55,11 +55,16 @@ func (b *Blob) Data() []byte {
 // Extended is the 2K x 2K erasure-extended matrix. Every row and every
 // column is a rate-1/2 Reed-Solomon codeword: any K of its 2K cells
 // suffice to reconstruct the rest.
+//
+// All n*n cells live in one contiguous row-major backing array — row r
+// is the byte range [r*n*CellBytes, (r+1)*n*CellBytes) — so rows can be
+// hashed and encoded as single contiguous spans and the whole matrix
+// can be recycled across slots via ExtendOptions.Reuse.
 type Extended struct {
-	params Params
-	n      int
-	cells  [][]byte // n*n cells, row-major
-	rowRS  *rs.Codec16
+	params  Params
+	n       int
+	backing []byte // n*n*CellBytes, row-major
+	rowRS   *rs.Codec16
 }
 
 // ExtendOptions tunes the two-dimensional extension.
@@ -71,6 +76,18 @@ type ExtendOptions struct {
 	// profiling. Parallel and sequential extension produce bit-identical
 	// cells: codewords are independent and write disjoint cells.
 	Sequential bool
+	// Reuse recycles the backing arena of a previous extension with the
+	// same geometry (the returned *Extended is then the same object,
+	// fully overwritten). The caller must be done reading the previous
+	// matrix. A nil or mismatched Reuse allocates fresh.
+	Reuse *Extended
+	// OnRowPhase, when non-nil, is invoked once on its own goroutine as
+	// soon as the row phase completes: rows 0..K-1 (data and row parity)
+	// are final and safe to read while the column phase is still
+	// computing rows K..n-1, which lets callers overlap per-row work
+	// (hashing, seeding) with the remaining encode. The hook is joined
+	// before the extend call returns.
+	OnRowPhase func(e *Extended)
 }
 
 // shardsPool recycles the per-worker [][]byte codeword headers so the
@@ -97,37 +114,51 @@ func Extend(b *Blob) (*Extended, error) {
 // ExtendWith is Extend with explicit options.
 func ExtendWith(b *Blob, opt ExtendOptions) (*Extended, error) {
 	p := b.params
+	return extend(p, func(r int, dst []byte) {
+		for c := 0; c < p.K; c++ {
+			copy(dst[c*p.CellBytes:], b.Cell(r, c))
+		}
+	}, opt)
+}
+
+// ExtendData extends raw packed data directly (zero-padding the tail),
+// skipping the intermediate Blob copy: the data quadrant is written
+// straight into the extended matrix's backing as each row codeword is
+// loaded. Returns ErrDataTooLarge if data exceeds the blob capacity.
+func ExtendData(p Params, data []byte, opt ExtendOptions) (*Extended, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) > p.BlobBytes() {
+		return nil, fmt.Errorf("%w: %d > %d", ErrDataTooLarge, len(data), p.BlobBytes())
+	}
+	rowBytes := p.K * p.CellBytes
+	return extend(p, func(r int, dst []byte) {
+		off := r * rowBytes
+		nc := 0
+		if off < len(data) {
+			nc = copy(dst, data[off:])
+		}
+		clear(dst[nc:])
+	}, opt)
+}
+
+// extend is the shared two-dimensional extension: loadRow fills the
+// data-quadrant span of row r (K*CellBytes bytes) and is called from
+// the row-phase workers.
+func extend(p Params, loadRow func(r int, dst []byte), opt ExtendOptions) (*Extended, error) {
 	n := p.N()
 	codec, err := codecFor(p)
 	if err != nil {
 		return nil, fmt.Errorf("blob: create codec: %w", err)
 	}
-	// All cells of the three parity quadrants come from one backing
-	// allocation, pre-sliced to cell size so the codec reuses them in
-	// place; the data quadrant aliases the base blob.
-	cells := make([][]byte, n*n)
-	for r := 0; r < p.K; r++ {
-		for c := 0; c < p.K; c++ {
-			cells[r*n+c] = b.Cell(r, c)
-		}
+	size := n * n * p.CellBytes
+	e := opt.Reuse
+	if e == nil || e.params != p || cap(e.backing) < size {
+		e = &Extended{params: p, n: n, backing: make([]byte, size)}
 	}
-	backing := make([]byte, 3*p.K*p.K*p.CellBytes)
-	next := 0
-	alloc := func() []byte {
-		s := backing[next : next+p.CellBytes : next+p.CellBytes]
-		next += p.CellBytes
-		return s
-	}
-	for r := 0; r < p.K; r++ {
-		for c := p.K; c < n; c++ {
-			cells[r*n+c] = alloc()
-		}
-	}
-	for r := p.K; r < n; r++ {
-		for c := 0; c < n; c++ {
-			cells[r*n+c] = alloc()
-		}
-	}
+	e.backing = e.backing[:size]
+	e.rowRS = codec
 
 	workers := opt.Workers
 	if opt.Sequential {
@@ -136,31 +167,64 @@ func ExtendWith(b *Blob, opt ExtendOptions) (*Extended, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	cb := p.CellBytes
+	rowSpan := n * cb
 	// Row phase: K row codewords, then a barrier (columns read the row
-	// parity), then n column codewords.
+	// parity), then n column codewords. Every codeword encodes in place
+	// over cell-sized windows of the contiguous backing.
 	encodeRow := func(sh [][]byte, r int) error {
-		copy(sh, cells[r*n:(r+1)*n])
+		row := e.backing[r*rowSpan : (r+1)*rowSpan]
+		loadRow(r, row[:p.K*cb])
+		for j := 0; j < n; j++ {
+			sh[j] = row[j*cb : (j+1)*cb : (j+1)*cb]
+		}
 		if err := codec.Encode(sh); err != nil {
 			return fmt.Errorf("blob: extend row %d: %w", r, err)
 		}
 		return nil
 	}
-	encodeCol := func(sh [][]byte, c int) error {
+	// Column phase: adjacent columns are independent codewords that share
+	// one twiddle schedule, and every coding step (XOR, per-word multiply)
+	// is elementwise — so a panel of adjacent columns encodes as ONE wide
+	// codeword whose shard r is the contiguous panel span of row r. This
+	// is bit-identical to per-column encoding but replaces cell-sized
+	// strided copies and butterflies with streaming multi-KB ones.
+	panelCols := 1
+	if cb < 4096 {
+		panelCols = 4096 / cb
+	}
+	panels := (n + panelCols - 1) / panelCols
+	encodePanel := func(sh [][]byte, pi int) error {
+		c0 := pi * panelCols
+		pw := min(panelCols, n-c0) * cb
 		for r := 0; r < n; r++ {
-			sh[r] = cells[r*n+c]
+			off := r*rowSpan + c0*cb
+			sh[r] = e.backing[off : off+pw : off+pw]
 		}
 		if err := codec.Encode(sh); err != nil {
-			return fmt.Errorf("blob: extend column %d: %w", c, err)
+			return fmt.Errorf("blob: extend column panel at %d: %w", c0, err)
 		}
 		return nil
 	}
 	if err := runCodewords(workers, n, p.K, encodeRow); err != nil {
 		return nil, err
 	}
-	if err := runCodewords(workers, n, n, encodeCol); err != nil {
+	// The hook may read rows 0..K-1 concurrently with the column phase,
+	// which only writes rows K..n-1. Join it before returning so the
+	// caller regains exclusive ownership of the matrix.
+	var hookWG sync.WaitGroup
+	if opt.OnRowPhase != nil {
+		hookWG.Add(1)
+		go func(hook func(*Extended)) {
+			defer hookWG.Done()
+			hook(e)
+		}(opt.OnRowPhase)
+		defer hookWG.Wait()
+	}
+	if err := runCodewords(workers, n, panels, encodePanel); err != nil {
 		return nil, err
 	}
-	return &Extended{params: p, n: n, cells: cells, rowRS: codec}, nil
+	return e, nil
 }
 
 // runCodewords runs fn(scratch, i) for i in [0, count) across a bounded
@@ -217,14 +281,24 @@ func (e *Extended) N() int { return e.n }
 // Cell returns the payload of the extended cell. The returned slice
 // aliases internal storage.
 func (e *Extended) Cell(id CellID) []byte {
-	return e.cells[id.Index(e.n)]
+	cb := e.params.CellBytes
+	off := id.Index(e.n) * cb
+	return e.backing[off : off+cb : off+cb]
+}
+
+// RowBytes returns the contiguous byte span of row r (n cells of
+// CellBytes each), aliasing internal storage. Row-wise consumers
+// (hashing, seeding) should prefer this over n Cell calls.
+func (e *Extended) RowBytes(r int) []byte {
+	span := e.n * e.params.CellBytes
+	return e.backing[r*span : (r+1)*span]
 }
 
 // Line returns the payloads of all cells along the given row or column.
 func (e *Extended) Line(l Line) [][]byte {
 	out := make([][]byte, e.n)
 	for i, id := range l.Cells(e.n) {
-		out[i] = e.cells[id.Index(e.n)]
+		out[i] = e.Cell(id)
 	}
 	return out
 }

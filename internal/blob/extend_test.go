@@ -22,30 +22,97 @@ func TestExtendParallelMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
-		for i := range seq.cells {
-			if !bytes.Equal(par.cells[i], seq.cells[i]) {
-				t.Fatalf("workers=%d: cell %d differs from sequential extension", workers, i)
-			}
+		if !bytes.Equal(par.backing, seq.backing) {
+			t.Fatalf("workers=%d: matrix differs from sequential extension", workers)
 		}
 	}
 }
 
-// TestExtendDataQuadrantAliasesBlob checks that extension does not copy
-// the K x K data quadrant: those cells alias the base blob's storage.
-func TestExtendDataQuadrantAliasesBlob(t *testing.T) {
+// TestExtendDataMatchesExtendWith pins the direct-from-data path against
+// the Blob-mediated one, including the zero-padded tail.
+func TestExtendDataMatchesExtendWith(t *testing.T) {
 	p := testParams()
-	b := randBlob(t, p, 8)
-	e, err := Extend(b)
+	data := randData(t, p.BlobBytes()-3*p.CellBytes-5, 9)
+	b, err := NewBlob(p, data)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for r := 0; r < p.K; r++ {
-		for c := 0; c < p.K; c++ {
-			base := b.Cell(r, c)
-			ext := e.Cell(CellID{Row: uint16(r), Col: uint16(c)})
-			if &base[0] != &ext[0] {
-				t.Fatalf("data cell (%d,%d) was copied instead of aliased", r, c)
-			}
-		}
+	want, err := Extend(b)
+	if err != nil {
+		t.Fatal(err)
 	}
+	got, err := ExtendData(p, data, ExtendOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.backing, want.backing) {
+		t.Fatal("ExtendData differs from NewBlob+Extend")
+	}
+	if _, err := ExtendData(p, make([]byte, p.BlobBytes()+1), ExtendOptions{}); err == nil {
+		t.Fatal("oversized data not rejected")
+	}
+}
+
+// TestExtendReuse pins arena recycling: extending different data into a
+// reused matrix must be bit-identical to a fresh extension (no stale
+// bytes survive, including in the padding region), and must actually
+// reuse the backing storage.
+func TestExtendReuse(t *testing.T) {
+	p := testParams()
+	long := randData(t, p.BlobBytes(), 10)
+	short := randData(t, p.BlobBytes()/2, 11)
+
+	reused, err := ExtendData(p, long, ExtendOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevBase := &reused.backing[0]
+	reused, err = ExtendData(p, short, ExtendOptions{Reuse: reused})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &reused.backing[0] != prevBase {
+		t.Fatal("reuse allocated a fresh backing")
+	}
+	fresh, err := ExtendData(p, short, ExtendOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reused.backing, fresh.backing) {
+		t.Fatal("reused extension differs from fresh extension")
+	}
+}
+
+// TestExtendRowPhaseHook checks the OnRowPhase contract: when the hook
+// fires, rows 0..K-1 (data + row parity) are final and readable, and
+// the hook observes exactly the same bytes a post-extension reader does.
+func TestExtendRowPhaseHook(t *testing.T) {
+	p := testParams()
+	data := randData(t, p.BlobBytes(), 12)
+	var snap []byte
+	e, err := ExtendData(p, data, ExtendOptions{
+		Workers: 4,
+		OnRowPhase: func(e *Extended) {
+			for r := 0; r < p.K; r++ {
+				snap = append(snap, e.RowBytes(r)...)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for r := 0; r < p.K; r++ {
+		want = append(want, e.RowBytes(r)...)
+	}
+	if !bytes.Equal(snap, want) {
+		t.Fatal("row-phase snapshot differs from final top half")
+	}
+}
+
+func randData(t *testing.T, n int, seed int64) []byte {
+	t.Helper()
+	b := randBlob(t, testParams(), seed)
+	out := b.Data()
+	return out[:n]
 }

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"pandas/internal/blob"
 	"pandas/internal/ids"
@@ -37,6 +39,7 @@ type Builder struct {
 	extended   *blob.Extended
 	commitment kzg.Commitment
 	proofs     []kzg.Proof
+	committer  *kzg.Committer // reused across slots; nil until first prepare
 
 	// signSeed produces the proposer's signature binding this builder to
 	// a slot; provided by whoever plays the proposer.
@@ -95,20 +98,142 @@ func (b *Builder) SetCrash(fraction float64) { b.crashAfter = fraction }
 func (b *Builder) SetView(v membership.View) { b.view = v }
 
 // PrepareBlob loads real layer-2 data: extends it, commits, and computes
-// all cell proofs. Only needed in real-payload mode.
+// all cell proofs. Only needed in real-payload mode. The extended-matrix
+// backing, the committer's digest arenas, and the proof arena are all
+// recycled across calls, so a builder preparing a blob per slot runs this
+// with no steady-state allocation: the data is extended straight into the
+// reused matrix, every payload byte is hashed exactly once (the cell
+// digests feed commitment and proofs alike), and the proofs land in the
+// retained arena.
 func (b *Builder) PrepareBlob(data []byte) error {
-	base, err := blob.NewBlob(b.cfg.Blob, data)
-	if err != nil {
-		return fmt.Errorf("core: builder blob: %w", err)
+	if err := b.extendAndCommit(data); err != nil {
+		return err
 	}
-	ext, err := blob.ExtendWith(base, blob.ExtendOptions{Workers: b.cfg.ExtendWorkers})
+	b.committer.ProveAll(b.commitment, b.proofs, b.proveWorkers(), nil)
+	return nil
+}
+
+// PrepareAndSeed is the streaming form of PrepareBlob + SeedSlot: row
+// digesting overlaps the column-phase encode (via the extension's
+// row-phase hook), proof generation runs concurrently with seed-plan
+// construction, and each seed datagram is transmitted as soon as the
+// proofs of the rows it carries are ready — the builder starts pushing
+// cells into the network while the prover is still working through the
+// matrix. Output is bit-identical to the monolithic path (same
+// commitment, proofs, datagrams, and report); Config.SequentialPrepare
+// selects the monolithic path for determinism-sensitive callers and
+// differential tests. Transport callbacks fire from the calling
+// goroutine only, as with SeedSlot.
+func (b *Builder) PrepareAndSeed(slot uint64, data []byte) (SeedingReport, error) {
+	if b.cfg.SequentialPrepare {
+		if err := b.PrepareBlob(data); err != nil {
+			return SeedingReport{}, err
+		}
+		return b.SeedSlot(slot), nil
+	}
+	if err := b.extendAndCommit(data); err != nil {
+		return SeedingReport{}, err
+	}
+	n := b.cfg.Blob.N()
+	tr := newRowTracker(n)
+	var proving sync.WaitGroup
+	proving.Add(1)
+	go func() {
+		defer proving.Done()
+		b.committer.ProveAll(b.commitment, b.proofs, b.proveWorkers(), tr.rowDone)
+	}()
+	// The prover must be joined even if transmission ends early (crash
+	// budgets): the builder's arenas are reused next slot.
+	defer proving.Wait()
+	plan, report := b.planSeed(slot)
+	b.transmit(slot, plan, &report, tr)
+	return report, nil
+}
+
+// extendAndCommit extends data into the builder's reused matrix and
+// accumulates the commitment, leaving the committer's cell digests ready
+// for proving and b.proofs sized. Unless SequentialPrepare is set, the
+// top half of the matrix (rows 0..K-1: data and row parity, final after
+// the row phase) is digested concurrently with the column-phase encode.
+func (b *Builder) extendAndCommit(data []byte) error {
+	p := b.cfg.Blob
+	n := p.N()
+	if b.committer == nil {
+		b.committer = kzg.NewCommitter(n)
+	} else {
+		b.committer.Reset(n)
+	}
+	cm := b.committer
+	opt := blob.ExtendOptions{Workers: b.cfg.ExtendWorkers, Reuse: b.extended}
+	hashed := 0
+	if !b.cfg.SequentialPrepare {
+		opt.OnRowPhase = func(e *blob.Extended) {
+			for r := 0; r < p.K; r++ {
+				cm.HashRow(r, e.RowBytes(r), p.CellBytes)
+			}
+		}
+		hashed = p.K
+	}
+	ext, err := blob.ExtendData(p, data, opt)
 	if err != nil {
 		return fmt.Errorf("core: builder extend: %w", err)
 	}
 	b.extended = ext
-	b.commitment = kzg.Commit(ext)
-	b.proofs = kzg.ProveAll(ext, b.commitment)
+	for r := hashed; r < n; r++ {
+		cm.HashRow(r, ext.RowBytes(r), p.CellBytes)
+	}
+	b.commitment = cm.Root()
+	if cap(b.proofs) < n*n {
+		b.proofs = make([]kzg.Proof, n*n)
+	}
+	b.proofs = b.proofs[:n*n]
 	return nil
+}
+
+// proveWorkers resolves the prover pool size from the configuration.
+func (b *Builder) proveWorkers() int {
+	if b.cfg.SequentialPrepare {
+		return 1
+	}
+	if b.cfg.ProveWorkers > 0 {
+		return b.cfg.ProveWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// rowTracker publishes prover progress to the transmission loop: rowDone
+// marks rows complete (in any order), waitFor blocks until every row up
+// to and including r is proved. The mutex also orders the prover's proof
+// writes before the sender's reads.
+type rowTracker struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	done      []bool
+	watermark int // rows [0, watermark) are fully proved
+}
+
+func newRowTracker(n int) *rowTracker {
+	t := &rowTracker{done: make([]bool, n)}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+func (t *rowTracker) rowDone(r int) {
+	t.mu.Lock()
+	t.done[r] = true
+	for t.watermark < len(t.done) && t.done[t.watermark] {
+		t.watermark++
+	}
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}
+
+func (t *rowTracker) waitFor(r int) {
+	t.mu.Lock()
+	for t.watermark <= r {
+		t.cond.Wait()
+	}
+	t.mu.Unlock()
 }
 
 // Commitment returns the current blob commitment (zero in metadata mode
@@ -143,6 +268,37 @@ func (b *Builder) cellPayload(id blob.CellID) wire.Cell {
 // to holders per the configured policy, builds per-node seed messages
 // with consolidation-boost maps, and transmits them.
 func (b *Builder) SeedSlot(slot uint64) SeedingReport {
+	plan, report := b.planSeed(slot)
+	b.transmit(slot, plan, &report, nil)
+	return report
+}
+
+// seedChunk is one planned seed datagram. Cells hold ID-only
+// placeholders until transmission (payload and proof are filled in just
+// before the send), which lets the pipelined path plan the whole
+// schedule while proofs are still being generated.
+type seedChunk struct {
+	msg    *wire.Seed
+	maxRow int // highest cell row carried; -1 for boost-only/empty chunks
+}
+
+type nodeSeedChunks struct {
+	node   int
+	chunks []seedChunk
+}
+
+// seedPlan is a complete per-node transmission schedule for one slot.
+type seedPlan struct {
+	nodes      []nodeSeedChunks
+	maxChunks  int
+	sendBudget int // datagrams before a simulated crash; -1 = unlimited
+}
+
+// planSeed runs the deciding half of SeedSlot: per-cell line choice,
+// parcel assignment, boost maps, and datagram chunking, in a fixed rng
+// order shared by the monolithic and pipelined paths (their schedules
+// are bit-identical). It touches no cell payloads or proofs.
+func (b *Builder) planSeed(slot uint64) (seedPlan, SeedingReport) {
 	report := SeedingReport{Policy: b.cfg.Policy}
 	n := b.cfg.Blob.N()
 	half := b.cfg.Blob.K
@@ -248,7 +404,9 @@ func (b *Builder) SeedSlot(slot uint64) SeedingReport {
 			}
 			for _, rcpt := range recipients {
 				for _, pos := range chunk {
-					nodeCells[rcpt] = append(nodeCells[rcpt], b.cellPayload(cellOnLine(line, pos)))
+					// Placeholder: payload and proof are materialized at
+					// transmission time (see transmit).
+					nodeCells[rcpt] = append(nodeCells[rcpt], wire.Cell{ID: cellOnLine(line, pos)})
 				}
 				if b.cfg.UseBoost {
 					rank := b.table.HolderRank(line, rcpt)
@@ -304,36 +462,25 @@ func (b *Builder) SeedSlot(slot uint64) SeedingReport {
 	if b.signSeed != nil {
 		sig = b.signSeed(slot)
 	}
-	// Build every node's chunk sequence first, then transmit them
-	// round-robin (chunk 0 of every node, then chunk 1, ...). This
-	// interleaving mirrors a builder iterating over rows and columns: a
-	// node's first cells arrive early in the transmission schedule while
-	// its batch completes near the end, so all nodes start consolidation
-	// against peers that already hold their seed data.
-	type nodeChunks struct {
-		node   int
-		chunks []*wire.Seed
-	}
-	var sendPlan []nodeChunks
-	maxChunks := 0
+	// Build every node's chunk sequence. Boost-only chunks go FIRST: the
+	// consolidation-boost map tells the node which cells are already on
+	// their way to it, so its first fetch plan must see the complete map.
+	plan := seedPlan{sendBudget: -1}
 	for _, node := range recipients {
 		cells := nodeCells[node]
 		boost := nodeBoost[node]
 		report.NodesSeeded++
-		var nChunks int
-		// Boost-only chunks go FIRST: the consolidation-boost map tells
-		// the node which cells are already on their way to it, so its
-		// first fetch plan must see the complete map.
 		nBoostChunks := (len(boost) + maxBoostPerMsg - 1) / maxBoostPerMsg
 		nCellChunks := (len(cells) + b.cfg.MaxCellsPerMsg - 1) / b.cfg.MaxCellsPerMsg
-		nChunks = nBoostChunks + nCellChunks
+		nChunks := nBoostChunks + nCellChunks
 		if nChunks == 0 {
 			nChunks = 1
 		}
-		nc := nodeChunks{node: node, chunks: make([]*wire.Seed, 0, nChunks)}
+		nc := nodeSeedChunks{node: node, chunks: make([]seedChunk, 0, nChunks)}
 		for ci := 0; ci < nChunks; ci++ {
 			var chunk []wire.Cell
 			var bChunk []wire.BoostEntry
+			maxRow := -1
 			if ci < nBoostChunks {
 				bChunk = boost
 				if len(bChunk) > maxBoostPerMsg {
@@ -346,22 +493,30 @@ func (b *Builder) SeedSlot(slot uint64) SeedingReport {
 					chunk = cells[:b.cfg.MaxCellsPerMsg]
 				}
 				cells = cells[len(chunk):]
+				for _, c := range chunk {
+					if int(c.ID.Row) > maxRow {
+						maxRow = int(c.ID.Row)
+					}
+				}
 			}
-			nc.chunks = append(nc.chunks, &wire.Seed{
-				Slot:        slot,
-				Builder:     b.id,
-				ProposerSig: sig,
-				Commitment:  b.commitment,
-				ChunkIndex:  uint16(ci),
-				ChunkCount:  uint16(nChunks),
-				Cells:       chunk,
-				Boost:       bChunk,
+			nc.chunks = append(nc.chunks, seedChunk{
+				maxRow: maxRow,
+				msg: &wire.Seed{
+					Slot:        slot,
+					Builder:     b.id,
+					ProposerSig: sig,
+					Commitment:  b.commitment,
+					ChunkIndex:  uint16(ci),
+					ChunkCount:  uint16(nChunks),
+					Cells:       chunk,
+					Boost:       bChunk,
+				},
 			})
 		}
-		if nChunks > maxChunks {
-			maxChunks = nChunks
+		if nChunks > plan.maxChunks {
+			plan.maxChunks = nChunks
 		}
-		sendPlan = append(sendPlan, nc)
+		plan.nodes = append(plan.nodes, nc)
 	}
 	// Withholding is decided by now; trace it so timelines can correlate
 	// sampling failures with the attack that caused them.
@@ -371,25 +526,43 @@ func (b *Builder) SeedSlot(slot uint64) SeedingReport {
 			Count: int32(report.Withheld), Aux: int64(n * n)})
 	}
 	// A crashing builder stops after a fraction of its datagram budget.
-	sendBudget := -1
 	if b.crashAfter > 0 && b.crashAfter < 1 {
 		total := 0
-		for _, nc := range sendPlan {
+		for _, nc := range plan.nodes {
 			total += len(nc.chunks)
 		}
-		sendBudget = int(b.crashAfter * float64(total))
+		plan.sendBudget = int(b.crashAfter * float64(total))
 	}
+	return plan, report
+}
+
+// transmit sends a planned slot's datagrams round-robin across nodes
+// (chunk 0 of every node, then chunk 1, ...). This interleaving mirrors
+// a builder iterating over rows and columns: a node's first cells arrive
+// early in the transmission schedule while its batch completes near the
+// end, so all nodes start consolidation against peers that already hold
+// their seed data. Cell payloads and proofs are materialized here, just
+// before each send; when rows is non-nil (the pipelined path), each
+// datagram additionally waits until the proofs of every row it carries
+// are ready.
+func (b *Builder) transmit(slot uint64, plan seedPlan, report *SeedingReport, rows *rowTracker) {
 	sent := 0
-	for pass := 0; pass < maxChunks; pass++ {
-		for _, nc := range sendPlan {
+	for pass := 0; pass < plan.maxChunks; pass++ {
+		for _, nc := range plan.nodes {
 			if pass >= len(nc.chunks) {
 				continue
 			}
-			if sendBudget >= 0 && sent >= sendBudget {
-				return report
+			if plan.sendBudget >= 0 && sent >= plan.sendBudget {
+				return
 			}
 			sent++
-			m := nc.chunks[pass]
+			m := nc.chunks[pass].msg
+			if rows != nil && nc.chunks[pass].maxRow >= 0 {
+				rows.waitFor(nc.chunks[pass].maxRow)
+			}
+			for i := range m.Cells {
+				m.Cells[i] = b.cellPayload(m.Cells[i].ID)
+			}
 			size := m.WireSize(b.cfg.Blob.CellBytes)
 			report.Messages++
 			report.Cells += len(m.Cells)
@@ -403,7 +576,6 @@ func (b *Builder) SeedSlot(slot uint64) SeedingReport {
 			b.tr.SendReliable(nc.node, size, m)
 		}
 	}
-	return report
 }
 
 // maxBoostPerMsg keeps seed datagrams under the UDP limit; boost-only

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
 	"pandas/internal/assign"
 	"pandas/internal/blob"
 	"pandas/internal/ids"
+	"pandas/internal/kzg"
 	"pandas/internal/membership"
 	"pandas/internal/wire"
 )
@@ -203,6 +206,100 @@ func TestBuilderRestrictedView(t *testing.T) {
 		if s.to >= 40 {
 			t.Fatalf("seeded out-of-view node %d", s.to)
 		}
+	}
+}
+
+// TestBuilderPipelinedMatchesMonolithic pins the streaming
+// PrepareAndSeed path against the monolithic prepare-then-seed path:
+// identical commitment, identical proof arena, bit-identical seed
+// datagrams (recipients, sizes, order, payloads, proofs), and an equal
+// report — across prover worker counts and a second slot that reuses
+// every arena.
+func TestBuilderPipelinedMatchesMonolithic(t *testing.T) {
+	cfg := TestConfig()
+	cfg.RealPayloads = true
+	cfg.Policy = PolicySingle
+	data := make([]byte, cfg.Blob.BlobBytes())
+	rand.New(rand.NewSource(42)).Read(data)
+
+	for _, workers := range []int{1, 2, 8} {
+		// Both builders are rebuilt per worker count so their rngs start
+		// from the same state (seeding consumes rng as it plans).
+		seqCfg := cfg
+		seqCfg.SequentialPrepare = true
+		want, _, wantTr := builderFixture(t, seqCfg, 80)
+		pipeCfg := cfg
+		pipeCfg.ProveWorkers = workers
+		got, _, gotTr := builderFixture(t, pipeCfg, 80)
+		for slot := uint64(1); slot <= 2; slot++ { // slot 2 reuses arenas
+			wantTr.sends = nil
+			gotTr.sends = nil
+			wantReport, err := want.PrepareAndSeed(slot, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotReport, err := got.PrepareAndSeed(slot, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Commitment() != want.Commitment() {
+				t.Fatalf("workers=%d slot=%d: commitments differ", workers, slot)
+			}
+			if !reflect.DeepEqual(got.proofs, want.proofs) {
+				t.Fatalf("workers=%d slot=%d: proof arenas differ", workers, slot)
+			}
+			if gotReport != wantReport {
+				t.Fatalf("workers=%d slot=%d: reports differ:\n got %+v\nwant %+v",
+					workers, slot, gotReport, wantReport)
+			}
+			if len(gotTr.sends) != len(wantTr.sends) {
+				t.Fatalf("workers=%d slot=%d: %d sends, want %d",
+					workers, slot, len(gotTr.sends), len(wantTr.sends))
+			}
+			for i := range gotTr.sends {
+				g, w := gotTr.sends[i], wantTr.sends[i]
+				if g.to != w.to || g.size != w.size || g.reliable != w.reliable {
+					t.Fatalf("workers=%d slot=%d send %d: envelope differs", workers, slot, i)
+				}
+				if !reflect.DeepEqual(g.payload, w.payload) {
+					t.Fatalf("workers=%d slot=%d send %d: datagram differs", workers, slot, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBuilderPrepareBlobReusesArenas pins the steady-state contract the
+// builder benchmark depends on: preparing a second blob reuses the
+// extended-matrix backing and the proof arena instead of reallocating.
+func TestBuilderPrepareBlobReusesArenas(t *testing.T) {
+	cfg := TestConfig()
+	cfg.RealPayloads = true
+	b, _, _ := builderFixture(t, cfg, 10)
+	data := make([]byte, cfg.Blob.BlobBytes())
+	rand.New(rand.NewSource(5)).Read(data)
+	if err := b.PrepareBlob(data); err != nil {
+		t.Fatal(err)
+	}
+	ext, proofs := b.extended, &b.proofs[0]
+	rand.New(rand.NewSource(6)).Read(data)
+	if err := b.PrepareBlob(data); err != nil {
+		t.Fatal(err)
+	}
+	if b.extended != ext {
+		t.Fatal("second PrepareBlob reallocated the extended matrix")
+	}
+	if &b.proofs[0] != proofs {
+		t.Fatal("second PrepareBlob reallocated the proof arena")
+	}
+	// The re-prepared blob must be self-consistent: spot-check a proof.
+	id := blob.CellID{Row: 3, Col: 29}
+	cell, ok := b.CellPayload(id)
+	if !ok {
+		t.Fatal("no payload after prepare")
+	}
+	if !kzg.Verify(b.Commitment(), cell.ID, cell.Data, cell.Proof) {
+		t.Fatal("re-prepared cell fails verification")
 	}
 }
 

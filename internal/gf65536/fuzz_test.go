@@ -92,6 +92,91 @@ func FuzzMulAdd4(f *testing.F) {
 	})
 }
 
+// FuzzMulAdd8 checks the fused eight-source kernel against eight
+// sequential scalar multiply-accumulates.
+func FuzzMulAdd8(f *testing.F) {
+	f.Add(uint16(2), uint16(3), uint16(4), uint16(5), uint16(6), uint16(7), uint16(8), uint16(9),
+		[]byte("a deterministic seed payload long enough for eight even slices!!"))
+	f.Add(uint16(0), uint16(1), uint16(0xffff), uint16(0x100), uint16(0x8000), uint16(0x1b), uint16(0), uint16(1),
+		[]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, c0, c1, c2, c3, c4, c5, c6, c7 uint16, data []byte) {
+		q := (len(data) / 8) &^ 1
+		var s [8][]byte
+		cs := []uint16{c0, c1, c2, c3, c4, c5, c6, c7}
+		want := make([]byte, q)
+		for i := range s {
+			s[i] = data[i*q : (i+1)*q]
+			mulAddBytesScalar(cs[i], s[i], want)
+		}
+		got := make([]byte, q)
+		MulAdd8(TableFor(c0), TableFor(c1), TableFor(c2), TableFor(c3),
+			TableFor(c4), TableFor(c5), TableFor(c6), TableFor(c7),
+			s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7], got)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("MulAdd8%v diverges\nwant %x\ngot  %x", cs, want, got)
+		}
+	})
+}
+
+// FuzzButterflies checks the fused additive-FFT butterflies (including
+// the AVX-512 path on capable machines) against their unfused two-call
+// formulations built from the scalar reference, plus the nil-twiddle
+// XOR-only forms.
+func FuzzButterflies(f *testing.F) {
+	f.Add(uint16(2), []byte("butterfly butterfly butterfly butterfly butterfly butterfly fly!"))
+	f.Add(uint16(0xffff), []byte{0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, c uint16, data []byte) {
+		h := (len(data) / 2) &^ 1
+		u0, v0 := data[:h], data[h:2*h]
+		tab := TableFor(c)
+		if c == 0 || c == 1 {
+			tab = TableFor(2) // keep a representative non-trivial table
+		}
+
+		// Forward: u ^= c*v ; v ^= u.
+		u := append([]byte(nil), u0...)
+		v := append([]byte(nil), v0...)
+		wu := append([]byte(nil), u0...)
+		wv := append([]byte(nil), v0...)
+		FwdButterfly(tab, u, v)
+		cc := tab.Lo[1] // the table's coefficient: c * 0x0001
+		mulAddBytesScalar(cc, wv, wu)
+		for i := range wv {
+			wv[i] ^= wu[i]
+		}
+		if !bytes.Equal(u, wu) || !bytes.Equal(v, wv) {
+			t.Fatalf("FwdButterfly(%#x) diverges", cc)
+		}
+
+		// Inverse: v ^= u ; u ^= c*v.
+		u = append(u[:0], u0...)
+		v = append(v[:0], v0...)
+		copy(wu, u0)
+		copy(wv, v0)
+		InvButterfly(tab, u, v)
+		for i := range wv {
+			wv[i] ^= wu[i]
+		}
+		mulAddBytesScalar(cc, wv, wu)
+		if !bytes.Equal(u, wu) || !bytes.Equal(v, wv) {
+			t.Fatalf("InvButterfly(%#x) diverges", cc)
+		}
+
+		// Nil table: both reduce to v ^= u.
+		u = append(u[:0], u0...)
+		v = append(v[:0], v0...)
+		FwdButterfly(nil, u, v)
+		copy(wu, u0)
+		copy(wv, v0)
+		for i := range wv {
+			wv[i] ^= wu[i]
+		}
+		if !bytes.Equal(u, wu) || !bytes.Equal(v, wv) {
+			t.Fatalf("FwdButterfly(nil) diverges")
+		}
+	})
+}
+
 // FuzzTableMatchesMul anchors every table entry reachable from a fuzzed
 // coefficient to the scalar field multiplication.
 func FuzzTableMatchesMul(f *testing.F) {

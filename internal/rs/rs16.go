@@ -206,11 +206,17 @@ func (c *Codec16) rowTables(i int) []*gf65536.MulTable16 {
 
 // mulRowInto sets dst = sum_j tabs[j]*srcs[j], overwriting dst. The first
 // source is an overwriting multiply (no clearing pass) and the remainder
-// accumulate four sources per dst pass, which quarters the dst
-// read-modify-write traffic of the naive loop.
+// accumulate eight (then four, two) sources per dst pass, dividing the
+// dst read-modify-write traffic of the naive loop by the fan-in.
 func mulRowInto(tabs []*gf65536.MulTable16, srcs [][]byte, dst []byte) {
 	tabs[0].Mul(srcs[0], dst)
 	j := 1
+	for ; j+8 <= len(srcs); j += 8 {
+		gf65536.MulAdd8(tabs[j], tabs[j+1], tabs[j+2], tabs[j+3],
+			tabs[j+4], tabs[j+5], tabs[j+6], tabs[j+7],
+			srcs[j], srcs[j+1], srcs[j+2], srcs[j+3],
+			srcs[j+4], srcs[j+5], srcs[j+6], srcs[j+7], dst)
+	}
 	for ; j+4 <= len(srcs); j += 4 {
 		gf65536.MulAdd4(tabs[j], tabs[j+1], tabs[j+2], tabs[j+3],
 			srcs[j], srcs[j+1], srcs[j+2], srcs[j+3], dst)
@@ -268,23 +274,19 @@ func (c *Codec16) Encode(shards [][]byte) error {
 func (c *Codec16) encodeFFT(shards [][]byte, size int) {
 	k := c.k
 	if c.n == 2*k {
-		// The workspace is the parity half itself: copy the data in,
-		// transform to coefficients, transform to the coset — the values
-		// land exactly where they belong, with zero extra buffers.
+		// The workspace is the parity half itself: the inverse transform
+		// reads the data shards directly (copying each at its recursion
+		// leaf), then the forward transform evaluates on the coset — the
+		// values land exactly where they belong, with zero extra buffers
+		// and no separate copy sweep.
 		w := shards[k:]
-		for j := 0; j < k; j++ {
-			copy(w[j], shards[j])
-		}
-		c.fft.ifftShards(w)
+		c.fft.ifftFrom(w, shards[:k])
 		c.fft.fftShards(w, c.fft.fftTab[0])
 		return
 	}
 	coeffs := c.scratch.get(k, size)
 	defer c.scratch.put(coeffs)
-	for j := 0; j < k; j++ {
-		copy(coeffs[j], shards[j])
-	}
-	c.fft.ifftShards(coeffs)
+	c.fft.ifftFrom(coeffs, shards[:k])
 	vals := c.scratch.get(k, size)
 	defer c.scratch.put(vals)
 	for ci := range c.fft.fftTab {

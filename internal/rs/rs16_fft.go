@@ -112,38 +112,63 @@ func (p *fftPlan) schedule(beta uint) [][]*gf65536.MulTable16 {
 
 // ifftShards transforms sh[0..k) in place from values on W_h to
 // novel-basis coefficients. All shards must be equally sized.
+//
+// Both transforms run depth-first over aligned sub-blocks instead of
+// stage-by-stage over the whole codeword: a size-m block finishes all
+// its log2(m) stages while its shards are still cache-resident, so a
+// codeword larger than L2 is swept O(1) times instead of once per
+// stage (the stage-order walk made large encodes memory-bound). The
+// butterflies within a block commute within a stage and depend only on
+// earlier stages of the same block, so the reordering is bit-identical
+// to the stage-order schedule — pinned by the FFT-vs-matrix tests.
 func (p *fftPlan) ifftShards(sh [][]byte) {
-	for s := 0; s < p.h; s++ {
-		step := 1 << s
-		tabs := p.ifftTab[s]
-		for base := 0; base < p.k; base += 2 * step {
-			t := tabs[base>>(s+1)]
-			for i := base; i < base+step; i++ {
-				u, v := sh[i], sh[i+step]
-				gf65536.AddBytes(u, v) // v ^= u
-				if t != nil {
-					t.MulAdd(v, u) // u ^= t*v
-				}
-			}
+	p.ifftRec(sh, nil, 0, p.k)
+}
+
+// ifftFrom is ifftShards with the input read from src: shard i is
+// copied from src[i] into dst[i] at the recursion leaf, immediately
+// before its first butterfly reads it, so the load rides the same
+// cache residency as the transform instead of costing a separate
+// whole-codeword sweep. dst is otherwise treated as uninitialized.
+func (p *fftPlan) ifftFrom(dst, src [][]byte) {
+	p.ifftRec(dst, src, 0, p.k)
+}
+
+func (p *fftPlan) ifftRec(sh, src [][]byte, base, m int) {
+	if m == 1 {
+		if src != nil {
+			copy(sh[base], src[base])
 		}
+		return
+	}
+	half := m >> 1
+	p.ifftRec(sh, src, base, half)
+	p.ifftRec(sh, src, base+half, half)
+	s := bits.TrailingZeros(uint(half)) // top stage of this block
+	t := p.ifftTab[s][base>>(s+1)]
+	for i := base; i < base+half; i++ {
+		gf65536.InvButterfly(t, sh[i], sh[i+half]) // v ^= u ; u ^= t*v
 	}
 }
 
 // fftShards transforms sh[0..k) in place from novel-basis coefficients
-// to values on the coset whose twiddle schedule is tabs.
+// to values on the coset whose twiddle schedule is tabs. Same
+// depth-first blocking as ifftShards, with the stage order reversed:
+// a block's top stage runs first, then its halves recurse.
 func (p *fftPlan) fftShards(sh [][]byte, tabs [][]*gf65536.MulTable16) {
-	for s := p.h - 1; s >= 0; s-- {
-		step := 1 << s
-		st := tabs[s]
-		for base := 0; base < p.k; base += 2 * step {
-			t := st[base>>(s+1)]
-			for i := base; i < base+step; i++ {
-				u, v := sh[i], sh[i+step]
-				if t != nil {
-					t.MulAdd(v, u) // u ^= t*v
-				}
-				gf65536.AddBytes(u, v) // v ^= u
-			}
-		}
+	p.fftRec(sh, tabs, 0, p.k)
+}
+
+func (p *fftPlan) fftRec(sh [][]byte, tabs [][]*gf65536.MulTable16, base, m int) {
+	if m == 1 {
+		return
 	}
+	half := m >> 1
+	s := bits.TrailingZeros(uint(half))
+	t := tabs[s][base>>(s+1)]
+	for i := base; i < base+half; i++ {
+		gf65536.FwdButterfly(t, sh[i], sh[i+half]) // u ^= t*v ; v ^= u
+	}
+	p.fftRec(sh, tabs, base, half)
+	p.fftRec(sh, tabs, base+half, half)
 }

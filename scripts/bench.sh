@@ -19,13 +19,28 @@ trap 'rm -f "$RAW"' EXIT
 echo "== ECC benchmarks (benchtime=$BENCHTIME)"
 go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
 	./internal/gf65536 ./internal/rs ./internal/blob | tee "$RAW"
+
+# --- Builder pipeline --------------------------------------------------
+# The slot-critical prepare path (32 MiB extend + commit + prove) is
+# gated, not just tracked: PrepareBlob must hold >= 5x the pre-pipeline
+# 20.17 MB/s baseline (i.e. >= 100.85 MB/s), and the steady-state prove
+# loop must stay at zero allocations per row. The gated benchmarks use
+# fixed iteration counts so the gate measurements are stable regardless
+# of the harness benchtime argument (the prepare benchmark additionally
+# warms its arenas with one unmeasured iteration).
+echo "== builder pipeline (gates: PrepareBlob >= 100.85 MB/s, prove loop 0 allocs/row)"
 go test -run '^$' -bench 'BenchmarkBuilderPrepareBlob' -benchmem \
-	-benchtime "$BENCHTIME" . | tee -a "$RAW"
+	-benchtime 4x . | tee -a "$RAW"
+go test -run '^$' -bench 'BenchmarkCommitterSlot' -benchmem \
+	-benchtime "$BENCHTIME" ./internal/kzg | tee -a "$RAW"
+go test -run '^$' -bench 'BenchmarkProveRowSteady' -benchmem \
+	-benchtime 10000x ./internal/kzg | tee -a "$RAW"
 
 # Parse `Benchmark<Name>[-procs] N ns/op [MB/s] [B/op] [allocs/op]`
-# lines into a JSON object keyed by benchmark name.
+# lines into a JSON object keyed by benchmark name, applying the
+# builder-pipeline gates.
 awk -v benchtime="$BENCHTIME" '
-BEGIN { n = 0 }
+BEGIN { n = 0; fail = 0 }
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -41,9 +56,18 @@ BEGIN { n = 0 }
 	if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
 	line = line "}"
 	out[n++] = line
+	if (name == "BenchmarkBuilderPrepareBlob" && mbs + 0 < 100.85) {
+		printf "GATE FAIL: %s %s MB/s < 100.85 (5x pre-pipeline baseline)\n", name, mbs > "/dev/stderr"
+		fail = 1
+	}
+	if (name == "BenchmarkProveRowSteady" && allocs + 0 > 0) {
+		printf "GATE FAIL: %s %s allocs/op > 0\n", name, allocs > "/dev/stderr"
+		fail = 1
+	}
 }
 END {
 	printf "{\n  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"gate\": {\"benchmark\": \"BenchmarkBuilderPrepareBlob\", \"min_mb_per_s\": 100.85, \"prove_loop_max_allocs_per_op\": 0},\n"
 	# Pre-optimization seed-codec numbers (log/exp scalar kernels,
 	# sequential extension), measured on the same 1-core Xeon 2.10GHz
 	# before the split-table/FFT pipeline landed. Kept for comparison.
@@ -51,12 +75,20 @@ END {
 	printf "    \"BenchmarkExtend32MB\": {\"ns_per_op\": 39139022293, \"mb_per_s\": 0.86, \"allocs_per_op\": 197387},\n"
 	printf "    \"BenchmarkReconstructLine\": {\"ns_per_op\": 67927269, \"mb_per_s\": 3.86, \"allocs_per_op\": 1355}\n"
 	printf "  },\n"
+	# Pre-pipeline builder numbers (scalar tails, per-cell pooled hash
+	# round-trips, monolithic prepare), same machine, before the
+	# word-parallel kernel / alloc-free prover PR landed.
+	printf "  \"pre_pipeline_baseline\": {\n"
+	printf "    \"BenchmarkBuilderPrepareBlob\": {\"ns_per_op\": 1663644213, \"mb_per_s\": 20.17, \"allocs_per_op\": 788009},\n"
+	printf "    \"BenchmarkExtend32MB\": {\"ns_per_op\": 882685390, \"mb_per_s\": 38.01, \"allocs_per_op\": 530}\n"
+	printf "  },\n"
 	printf "  \"benchmarks\": {\n"
 	for (i = 0; i < n; i++) printf "%s%s\n", out[i], (i < n-1 ? "," : "")
 	printf "  }\n}\n"
+	exit fail
 }' "$RAW" > "$OUT"
 
-echo "wrote $OUT ($(grep -c 'ns_per_op' "$OUT") benchmarks)"
+echo "wrote $OUT ($(grep -c 'ns_per_op' "$OUT") benchmarks, builder gates passed)"
 
 # --- Observability overhead -------------------------------------------
 # The disabled-recorder path is on every protocol hot path, so it is
