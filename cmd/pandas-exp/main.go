@@ -45,7 +45,10 @@ func run(args []string) error {
 	} else {
 		o.Core = core.DefaultConfig()
 	}
-	sizes := parseSizes(*sweep)
+	sizes, err := experiments.ParseIntList("-sweep", *sweep)
+	if err != nil {
+		return err
+	}
 	if len(sizes) == 0 {
 		sizes = []int{*nodes / 2, *nodes}
 	}
@@ -101,21 +104,4 @@ func run(args []string) error {
 		fmt.Printf("[%s completed in %v]\n\n", st.name, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
-}
-
-func parseSizes(s string) []int {
-	if s == "" {
-		return nil
-	}
-	var out []int
-	var v int
-	for _, r := range s + "," {
-		if r >= '0' && r <= '9' {
-			v = v*10 + int(r-'0')
-		} else if v > 0 {
-			out = append(out, v)
-			v = 0
-		}
-	}
-	return out
 }

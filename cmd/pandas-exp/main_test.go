@@ -2,13 +2,9 @@ package main
 
 import "testing"
 
-func TestParseSizes(t *testing.T) {
-	got := parseSizes("150,300")
-	if len(got) != 2 || got[0] != 150 || got[1] != 300 {
-		t.Fatalf("got %v", got)
-	}
-	if parseSizes("") != nil {
-		t.Fatal("empty should be nil")
+func TestRunRejectsBadSweep(t *testing.T) {
+	if err := run([]string{"-small", "-sweep", "150,zzz"}); err == nil {
+		t.Fatal("malformed -sweep accepted")
 	}
 }
 

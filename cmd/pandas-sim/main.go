@@ -19,17 +19,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 
-	"pandas/internal/adversary"
 	"pandas/internal/core"
 	"pandas/internal/experiments"
 	"pandas/internal/metrics"
 	"pandas/internal/obsv"
 )
-
-type renderer interface{ Render() string }
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -38,52 +33,47 @@ func main() {
 	}
 }
 
+// listOutput is the registry-generated -list text.
+func listOutput() string { return experiments.ListText() }
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("pandas-sim", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "", "experiment: fig9 fig10 table1 fig11 fig12 fig13 fig14 fig15a fig15b churn ablation validate confidence adversary withholding byzantine gateway")
+		exp    = fs.String("exp", "", "experiment to run (use -list to enumerate)")
 		nodes  = fs.Int("nodes", 1000, "network size")
 		slots  = fs.Int("slots", 10, "slots to aggregate")
 		seed   = fs.Int64("seed", 1, "random seed")
 		small  = fs.Bool("small", false, "use the scaled-down 32x32 geometry (fast)")
-		sizes  = fs.String("sizes", "", "comma-separated sizes for fig13/fig14 (default paper sizes)")
-		fracs  = fs.String("fractions", "", "comma-separated fault fractions for fig15 (default 0,0.2,...,0.8)")
-		rates  = fs.String("rates", "", "comma-separated churn rates (departures/node/slot) for churn (default 0,0.05,0.1,0.2,0.4)")
+		loss   = fs.Float64("loss", -1, "message loss rate in [0,1) (unset: simulator default 3%; 0 disables loss)")
 		list   = fs.Bool("list", false, "list experiments and exit")
 		csvDir = fs.String("csv", "", "also write sampling CDF CSVs into this directory (fig9/fig11/fig12)")
-		trials = fs.Int("trials", 20000, "Monte Carlo trials for confidence/adversary")
-		behav  = fs.String("behavior", "silent", "byzantine behavior for adversary: silent laggard garbage")
 		trace  = fs.String("trace", "", "record a protocol event trace and write it to this JSONL file")
-
-		clients = fs.Int("clients", 100_000, "gateway: concurrent synthetic light clients per slot")
-		queries = fs.Int("queries", 3, "gateway: sampling queries per client per slot")
-		zipf    = fs.Float64("zipf", 1.2, "gateway: zipf exponent of cell popularity (>1)")
 	)
+	params := experiments.DefaultParams()
+	experiments.BindFlags(fs, &params)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
-		fmt.Println(`experiments:
-  fig9        phase-time distributions per seeding policy (Fig. 9a-d)
-  fig10       per-node fetch traffic per policy (Fig. 10)
-  table1      per-round fetching statistics (Table 1)
-  fig11       adaptive vs constant fetching (Fig. 11)
-  fig12       PANDAS vs GossipSub vs DHT at one scale (Fig. 12)
-  fig13       PANDAS scaling sweep (Fig. 13)
-  fig14       system comparison across scales (Fig. 14)
-  fig15a      dead-node sweep (Fig. 15a)
-  fig15b      out-of-view sweep (Fig. 15b)
-  churn       dynamic membership: churn rate vs sampling-deadline success
-  ablation    builder seeding-redundancy sweep (design knob, paper 9)
-  validate    metadata vs real data plane cross-validation (8.2)
-  confidence  sampling false-positive analysis (Section 3)
-  adversary   withholding detection + byzantine-fraction sweep (threat model)
-  withholding withholding-detection table only (cluster vs Monte Carlo)
-  byzantine   byzantine-fraction sweep only (-behavior, -fractions)
-  gateway     sampling-gateway load: coalescing/cache under 100k+ light clients (-clients, -queries, -zipf)`)
+		fmt.Println(listOutput())
 		return nil
 	}
-	o := experiments.Options{Nodes: *nodes, Slots: *slots, Seed: *seed, LossRate: -0}
+	e, ok := experiments.Lookup(*exp)
+	if !ok {
+		if *exp == "" {
+			return fmt.Errorf("missing -exp (use -list to enumerate)")
+		}
+		return fmt.Errorf("unknown experiment %q (use -list to enumerate)", *exp)
+	}
+	o := experiments.Options{Nodes: *nodes, Slots: *slots, Seed: *seed}
+	lossSet := false
+	fs.Visit(func(f *flag.Flag) { lossSet = lossSet || f.Name == "loss" })
+	if lossSet {
+		if *loss < 0 || *loss >= 1 {
+			return fmt.Errorf("-loss: %v is not in [0, 1)", *loss)
+		}
+		o.LossRate = experiments.Loss(*loss)
+	}
 	if *small {
 		o.Core = core.TestConfig()
 	} else {
@@ -99,67 +89,7 @@ func run(args []string) error {
 		o.Core.Recorder = ring
 	}
 
-	var (
-		res renderer
-		err error
-	)
-	switch *exp {
-	case "fig9":
-		res, err = experiments.Fig9(o)
-	case "fig10":
-		res, err = experiments.Fig10(o)
-	case "table1":
-		res, err = experiments.Table1(o)
-	case "fig11":
-		res, err = experiments.Fig11(o)
-	case "fig12":
-		res, err = experiments.Fig12(o)
-	case "fig13":
-		res, err = experiments.Fig13(o, parseSizes(*sizes))
-	case "fig14":
-		res, err = experiments.Fig14(o, parseSizes(*sizes))
-	case "fig15a":
-		res, err = experiments.Fig15(o, experiments.FaultDead, parseFracs(*fracs))
-	case "fig15b":
-		res, err = experiments.Fig15(o, experiments.FaultOutOfView, parseFracs(*fracs))
-	case "churn":
-		rr, perr := parseRates(*rates)
-		if perr != nil {
-			return perr
-		}
-		res, err = experiments.Churn(o, rr)
-	case "validate":
-		res, err = experiments.Validate(o)
-	case "ablation":
-		res, err = experiments.Ablation(o, parseSizes(*sizes))
-	case "confidence":
-		res = experiments.Confidence(o.Core.Blob.N(), nil, *trials, *seed)
-	case "adversary", "withholding", "byzantine":
-		b, ok := map[string]adversary.Behavior{
-			"silent":  adversary.Silent,
-			"laggard": adversary.Laggard,
-			"garbage": adversary.Garbage,
-		}[*behav]
-		if !ok {
-			return fmt.Errorf("-behavior: unknown behavior %q (silent, laggard, garbage)", *behav)
-		}
-		switch *exp {
-		case "withholding":
-			res, err = experiments.Withholding(o, nil, *trials)
-		case "byzantine":
-			res, err = experiments.Byzantine(o, b, parseFracs(*fracs))
-		default:
-			res, err = experiments.Adversary(o, b, parseFracs(*fracs), *trials)
-		}
-	case "gateway":
-		res, err = experiments.GatewayLoad(o, experiments.GatewayLoadOptions{
-			Clients: *clients, QueriesPerClient: *queries, ZipfS: *zipf,
-		})
-	case "":
-		return fmt.Errorf("missing -exp (use -list to enumerate)")
-	default:
-		return fmt.Errorf("unknown experiment %q", *exp)
-	}
+	res, err := e.Run(o, &params)
 	if err != nil {
 		return err
 	}
@@ -201,7 +131,7 @@ func writeTrace(path string, ring *obsv.Ring) error {
 }
 
 // writeCSVs exports plottable sampling CDFs for the figure experiments.
-func writeCSVs(dir, exp string, res renderer) error {
+func writeCSVs(dir, exp string, res experiments.Renderer) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -236,47 +166,4 @@ func writeCSVs(dir, exp string, res renderer) error {
 		}
 	}
 	return nil
-}
-
-func parseSizes(s string) []int {
-	if s == "" {
-		return nil
-	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err == nil && v > 0 {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
-func parseRates(s string) ([]float64, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []float64
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil || v < 0 {
-			return nil, fmt.Errorf("-rates: %q is not a non-negative number", strings.TrimSpace(part))
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func parseFracs(s string) []float64 {
-	if s == "" {
-		return nil
-	}
-	var out []float64
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err == nil && v >= 0 && v < 1 {
-			out = append(out, v)
-		}
-	}
-	return out
 }

@@ -273,13 +273,21 @@ func (b *Builder) SeedSlot(slot uint64) SeedingReport {
 	return report
 }
 
-// seedChunk is one planned seed datagram. Cells hold ID-only
-// placeholders until transmission (payload and proof are filled in just
-// before the send), which lets the pipelined path plan the whole
-// schedule while proofs are still being generated.
+// seedChunk is one planned seed datagram, stored in its compact planned
+// form: cell IDs only (wire cells with payload and proof are
+// materialized just before the send, which lets the pipelined path plan
+// the whole schedule while proofs are still being generated) and a boost
+// slice that ALIASES the line's shared entry list. Sharing is what keeps
+// the plan linear in the schedule size: a line's CB entries are built
+// once and referenced by every holder's datagram, never copied per
+// recipient (the per-recipient copies were quadratic — tens of GB at
+// 100k nodes).
 type seedChunk struct {
-	msg    *wire.Seed
-	maxRow int // highest cell row carried; -1 for boost-only/empty chunks
+	cellIDs []blob.CellID
+	boost   []wire.BoostEntry
+	index   uint16
+	count   uint16
+	maxRow  int // highest cell row carried; -1 for boost-only/empty chunks
 }
 
 type nodeSeedChunks struct {
@@ -292,6 +300,7 @@ type seedPlan struct {
 	nodes      []nodeSeedChunks
 	maxChunks  int
 	sendBudget int // datagrams before a simulated crash; -1 = unlimited
+	sig        [wire.SigSize]byte
 }
 
 // planSeed runs the deciding half of SeedSlot: per-cell line choice,
@@ -364,7 +373,7 @@ func (b *Builder) planSeed(slot uint64) (seedPlan, SeedingReport) {
 	if b.cfg.Policy == PolicyRedundant {
 		copies = b.cfg.Redundancy
 	}
-	nodeCells := make(map[int][]wire.Cell) // recipient -> cells
+	nodeCells := make(map[int][]blob.CellID) // recipient -> planned cells
 	lineBoost := make(map[blob.Line][]wire.BoostEntry)
 	linesInOrder := make([]blob.Line, 0, len(perLine))
 	for line := range perLine {
@@ -404,9 +413,9 @@ func (b *Builder) planSeed(slot uint64) (seedPlan, SeedingReport) {
 			}
 			for _, rcpt := range recipients {
 				for _, pos := range chunk {
-					// Placeholder: payload and proof are materialized at
+					// ID only: payload and proof are materialized at
 					// transmission time (see transmit).
-					nodeCells[rcpt] = append(nodeCells[rcpt], wire.Cell{ID: cellOnLine(line, pos)})
+					nodeCells[rcpt] = append(nodeCells[rcpt], cellOnLine(line, pos))
 				}
 				if b.cfg.UseBoost {
 					rank := b.table.HolderRank(line, rcpt)
@@ -424,8 +433,13 @@ func (b *Builder) planSeed(slot uint64) (seedPlan, SeedingReport) {
 	}
 
 	// Phase 3: per-node boost maps — every holder of a line receives the
-	// line's CB entries, even holders that got no cells.
-	nodeBoost := make(map[int][]wire.BoostEntry)
+	// line's CB entries, even holders that got no cells. Each holder gets
+	// a REFERENCE to the line's shared entry slice, never a copy: with H
+	// holders per line the per-recipient copies the old code made cost
+	// O(lines x entries x H) — about 39 GB at 100k nodes and default
+	// geometry — while the shared slices cost one slice header per
+	// (line, holder) pair.
+	nodeBoost := make(map[int][][]wire.BoostEntry)
 	if b.cfg.UseBoost {
 		for _, line := range linesInOrder {
 			entries := lineBoost[line]
@@ -433,7 +447,7 @@ func (b *Builder) planSeed(slot uint64) (seedPlan, SeedingReport) {
 				continue
 			}
 			for _, h := range b.knownHolders(line) {
-				nodeBoost[h] = append(nodeBoost[h], entries...)
+				nodeBoost[h] = append(nodeBoost[h], entries)
 			}
 		}
 	}
@@ -458,60 +472,67 @@ func (b *Builder) planSeed(slot uint64) (seedPlan, SeedingReport) {
 	b.rng.Shuffle(len(recipients), func(i, j int) {
 		recipients[i], recipients[j] = recipients[j], recipients[i]
 	})
-	var sig [wire.SigSize]byte
+	plan := seedPlan{sendBudget: -1}
 	if b.signSeed != nil {
-		sig = b.signSeed(slot)
+		plan.sig = b.signSeed(slot)
 	}
 	// Build every node's chunk sequence. Boost-only chunks go FIRST: the
 	// consolidation-boost map tells the node which cells are already on
 	// their way to it, so its first fetch plan must see the complete map.
-	plan := seedPlan{sendBudget: -1}
+	// Boost chunks never span two lines — a datagram's Boost field is a
+	// subslice of one line's shared entry list, so chunking stays
+	// copy-free (at the cost of one datagram per held line instead of a
+	// tight concatenated packing; line entry lists are far larger than
+	// datagrams at scale, so the overhead is a few headers).
 	for _, node := range recipients {
 		cells := nodeCells[node]
-		boost := nodeBoost[node]
+		boostLines := nodeBoost[node]
 		report.NodesSeeded++
-		nBoostChunks := (len(boost) + maxBoostPerMsg - 1) / maxBoostPerMsg
-		nCellChunks := (len(cells) + b.cfg.MaxCellsPerMsg - 1) / b.cfg.MaxCellsPerMsg
-		nChunks := nBoostChunks + nCellChunks
+		nChunks := (len(cells) + b.cfg.MaxCellsPerMsg - 1) / b.cfg.MaxCellsPerMsg
+		for _, entries := range boostLines {
+			nChunks += (len(entries) + maxBoostPerMsg - 1) / maxBoostPerMsg
+		}
 		if nChunks == 0 {
 			nChunks = 1
 		}
 		nc := nodeSeedChunks{node: node, chunks: make([]seedChunk, 0, nChunks)}
-		for ci := 0; ci < nChunks; ci++ {
-			var chunk []wire.Cell
-			var bChunk []wire.BoostEntry
-			maxRow := -1
-			if ci < nBoostChunks {
-				bChunk = boost
+		emit := func(cellIDs []blob.CellID, bChunk []wire.BoostEntry, maxRow int) {
+			nc.chunks = append(nc.chunks, seedChunk{
+				cellIDs: cellIDs,
+				boost:   bChunk,
+				index:   uint16(len(nc.chunks)),
+				count:   uint16(nChunks),
+				maxRow:  maxRow,
+			})
+		}
+		for _, entries := range boostLines {
+			for len(entries) > 0 {
+				bChunk := entries
 				if len(bChunk) > maxBoostPerMsg {
-					bChunk = boost[:maxBoostPerMsg]
+					bChunk = entries[:maxBoostPerMsg]
 				}
-				boost = boost[len(bChunk):]
-			} else {
-				chunk = cells
-				if len(chunk) > b.cfg.MaxCellsPerMsg {
-					chunk = cells[:b.cfg.MaxCellsPerMsg]
-				}
-				cells = cells[len(chunk):]
-				for _, c := range chunk {
-					if int(c.ID.Row) > maxRow {
-						maxRow = int(c.ID.Row)
-					}
+				entries = entries[len(bChunk):]
+				emit(nil, bChunk, -1)
+			}
+		}
+		for len(cells) > 0 {
+			chunk := cells
+			if len(chunk) > b.cfg.MaxCellsPerMsg {
+				chunk = cells[:b.cfg.MaxCellsPerMsg]
+			}
+			cells = cells[len(chunk):]
+			maxRow := -1
+			for _, id := range chunk {
+				if int(id.Row) > maxRow {
+					maxRow = int(id.Row)
 				}
 			}
-			nc.chunks = append(nc.chunks, seedChunk{
-				maxRow: maxRow,
-				msg: &wire.Seed{
-					Slot:        slot,
-					Builder:     b.id,
-					ProposerSig: sig,
-					Commitment:  b.commitment,
-					ChunkIndex:  uint16(ci),
-					ChunkCount:  uint16(nChunks),
-					Cells:       chunk,
-					Boost:       bChunk,
-				},
-			})
+			emit(chunk, nil, maxRow)
+		}
+		if len(nc.chunks) == 0 {
+			// A known node with nothing to carry still gets one empty
+			// announcement datagram (commitment + signature).
+			emit(nil, nil, -1)
 		}
 		if nChunks > plan.maxChunks {
 			plan.maxChunks = nChunks
@@ -556,12 +577,25 @@ func (b *Builder) transmit(slot uint64, plan seedPlan, report *SeedingReport, ro
 				return
 			}
 			sent++
-			m := nc.chunks[pass].msg
-			if rows != nil && nc.chunks[pass].maxRow >= 0 {
-				rows.waitFor(nc.chunks[pass].maxRow)
+			chunk := &nc.chunks[pass]
+			if rows != nil && chunk.maxRow >= 0 {
+				rows.waitFor(chunk.maxRow)
 			}
-			for i := range m.Cells {
-				m.Cells[i] = b.cellPayload(m.Cells[i].ID)
+			m := &wire.Seed{
+				Slot:        slot,
+				Builder:     b.id,
+				ProposerSig: plan.sig,
+				Commitment:  b.commitment,
+				ChunkIndex:  chunk.index,
+				ChunkCount:  chunk.count,
+				Boost:       chunk.boost,
+			}
+			if len(chunk.cellIDs) > 0 {
+				cs := make([]wire.Cell, len(chunk.cellIDs))
+				for i, id := range chunk.cellIDs {
+					cs[i] = b.cellPayload(id)
+				}
+				m.Cells = cs
 			}
 			size := m.WireSize(b.cfg.Blob.CellBytes)
 			report.Messages++

@@ -118,7 +118,7 @@ type Cluster struct {
 	overlay   *gossip.Overlay
 	routers   []*gossip.Router
 	blockRecv []time.Duration
-	deadSet   map[int]bool
+	dead      []bool
 	randao    *consensus.Randao
 
 	// Dynamic membership (nil/empty without ClusterConfig.Churn).
@@ -138,11 +138,15 @@ type Cluster struct {
 	churnPrev  membership.Stats
 
 	// Adversary subsystem (inert without ClusterConfig.Adversary).
-	behaviors   []adversary.Behavior
-	agents      []*adversary.Agent
-	seedDelay   time.Duration
-	advRng      *rand.Rand
-	partitioned map[int]bool
+	behaviors []adversary.Behavior
+	agents    []*adversary.Agent
+	seedDelay time.Duration
+	advRng    *rand.Rand
+	// partitioned flags nodes inside the current partition window (empty
+	// outside fault windows); partCount tracks how many are set so the
+	// per-message link filter is one comparison in the common case.
+	partitioned []bool
+	partCount   int
 	departed    map[int]bool
 
 	// Observability (nil without Core.Recorder / Core.Metrics).
@@ -204,7 +208,10 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 	rng := rand.New(rand.NewSource(cc.Seed))
 	nodeIDs := make([]ids.NodeID, cc.N)
 	for i := range nodeIDs {
-		nodeIDs[i] = ids.NewTestIdentity(cc.Seed<<20 + int64(i)).ID
+		// Cached interning: sweeps rebuild clusters with the same seed at
+		// growing sizes, and per-node ed25519 keygen dominates large
+		// cluster construction otherwise.
+		nodeIDs[i] = ids.NewTestIdentityCached(cc.Seed<<20 + int64(i)).ID
 	}
 	entropy := [32]byte{}
 	rng.Read(entropy[:])
@@ -215,12 +222,12 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 	}
 
 	c := &Cluster{
-		cfg:     cc,
-		net:     net,
-		table:   table,
-		deadSet: make(map[int]bool),
-		randao:  randao,
-		rec:     cc.Core.Recorder,
+		cfg:    cc,
+		net:    net,
+		table:  table,
+		dead:   make([]bool, cc.N),
+		randao: randao,
+		rec:    cc.Core.Recorder,
 	}
 	if reg := cc.Core.Metrics; reg != nil {
 		net.SetMetrics(reg)
@@ -271,7 +278,7 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 
 	// The builder sits on a well-connected vertex with a 10 Gbps uplink.
 	c.bIndex = net.AddNode(nil, simnet.BuilderBandwidth, simnet.BuilderBandwidth)
-	builderID := ids.NewTestIdentity(cc.Seed<<20 + int64(cc.N) + 7).ID
+	builderID := ids.NewTestIdentityCached(cc.Seed<<20 + int64(cc.N) + 7).ID
 	c.builder = NewBuilder(cc.Core, c.bIndex, builderID, table, simTransport{net: net, self: c.bIndex}, cc.Seed+99)
 	c.builder.SetProposerSigner(func(slot uint64) [wire.SigSize]byte {
 		var sig [wire.SigSize]byte
@@ -283,7 +290,7 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 	if cc.DeadFraction > 0 {
 		count := int(float64(cc.N) * cc.DeadFraction)
 		for _, i := range rng.Perm(cc.N)[:count] {
-			c.deadSet[i] = true
+			c.dead[i] = true
 			if err := net.SetDead(i, true); err != nil {
 				return nil, err
 			}
@@ -294,17 +301,31 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 	// Views are LiveViews rather than fixed predicates so that dynamic
 	// membership (below) can evolve the SAME view a node already has —
 	// the two fault models compose instead of overwriting each other.
+	//
+	// At compactViewThreshold nodes and beyond, static deployments switch
+	// to membership.SampledView: materializing N LiveViews of (1-f)N
+	// entries each is O(N²) memory and rng time, which is exactly what
+	// caps the paper's PeerSim runs at 20k nodes. The sampled views keep
+	// the same marginal statistics (each peer visible independently with
+	// probability keep/N); only churn runs need mutable views.
 	if cc.OutOfViewFraction > 0 {
 		keep := cc.N - int(float64(cc.N)*cc.OutOfViewFraction)
-		c.views = make([]*membership.LiveView, cc.N)
-		for i := 0; i < cc.N; i++ {
-			v := membership.NewLiveView()
-			v.Add(i)
-			for _, p := range rng.Perm(cc.N)[:keep] {
-				v.Add(p)
+		if cc.N >= compactViewThreshold && !cc.Churn.Active() {
+			frac := float64(keep) / float64(cc.N)
+			for i := 0; i < cc.N; i++ {
+				c.nodes[i].SetView(membership.NewSampledView(uint64(cc.Seed)^0x76696577, i, frac))
 			}
-			c.views[i] = v
-			c.nodes[i].SetView(v)
+		} else {
+			c.views = make([]*membership.LiveView, cc.N)
+			for i := 0; i < cc.N; i++ {
+				v := membership.NewLiveView()
+				v.Add(i)
+				for _, p := range rng.Perm(cc.N)[:keep] {
+					v.Add(p)
+				}
+				c.views[i] = v
+				c.nodes[i].SetView(v)
+			}
 		}
 	}
 
@@ -341,6 +362,11 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 // clusterBootstrapContacts is the sparse deterministic contact set each
 // node's DHT routing table starts from; crawls grow it from there.
 const clusterBootstrapContacts = 8
+
+// compactViewThreshold is the network size at which static out-of-view
+// deployments switch from materialized LiveViews to SampledView
+// predicates (see NewCluster).
+const compactViewThreshold = 20000
 
 // setupChurn wires the dynamic-membership subsystem: the lifecycle
 // engine, per-node evolving views, the announcement gossip mesh, the DHT
@@ -426,8 +452,10 @@ func (c *Cluster) setupChurn(cc ClusterConfig) error {
 	})
 	// DeadFraction nodes belong to the fault model, not the churn model:
 	// they stay dead forever and never emit lifecycle events.
-	for i := range c.deadSet {
-		c.engine.Exclude(i)
+	for i, d := range c.dead {
+		if d {
+			c.engine.Exclude(i)
+		}
 	}
 	c.engine.Start()
 
@@ -728,7 +756,7 @@ func (c *Cluster) nodeOutcome(i int, start time.Duration) NodeOutcome {
 		ConsFromSeed:  -1,
 		JoinedAt:      -1,
 		LeftAt:        -1,
-		Dead:          c.deadSet[i],
+		Dead:          c.dead[i],
 	}
 	if c.dir != nil {
 		o.Offline = !c.started[i]

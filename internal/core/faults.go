@@ -50,12 +50,17 @@ func (c *Cluster) setupAdversary(cc ClusterConfig) {
 		c.advRng = rand.New(rand.NewSource(cc.Seed ^ faultSalt))
 		for _, f := range adv.Faults {
 			if f.Kind == adversary.FaultPartition {
-				c.partitioned = make(map[int]bool)
+				// Indexed by simulator address; endpoints past cc.N (the
+				// builder, gateway attachments) are never partitioned.
+				c.partitioned = make([]bool, cc.N)
+				inPart := func(i int) bool {
+					return i >= 0 && i < len(c.partitioned) && c.partitioned[i]
+				}
 				c.net.SetLinkFilter(func(from, to int) bool {
-					if len(c.partitioned) == 0 {
+					if c.partCount == 0 {
 						return false
 					}
-					return c.partitioned[from] != c.partitioned[to]
+					return inPart(from) != inPart(to)
 				})
 				break
 			}
@@ -94,12 +99,18 @@ func (c *Cluster) armFaults() {
 				count := int(float64(c.cfg.N) * f.Fraction)
 				isolated := append([]int(nil), c.advRng.Perm(c.cfg.N)[:count]...)
 				for _, i := range isolated {
-					c.partitioned[i] = true
+					if !c.partitioned[i] {
+						c.partitioned[i] = true
+						c.partCount++
+					}
 				}
 				c.emitFault(obsv.KindFaultStart, f.Kind, count)
 				c.net.After(f.Duration, func() {
 					for _, i := range isolated {
-						delete(c.partitioned, i)
+						if c.partitioned[i] {
+							c.partitioned[i] = false
+							c.partCount--
+						}
 					}
 					c.emitFault(obsv.KindFaultStop, f.Kind, count)
 				})

@@ -82,11 +82,12 @@ type Node struct {
 	verifySeeds bool
 	proposerPub ed25519.PublicKey
 
-	// Per-slot state.
+	// Per-slot state. The maps are cleared and reused across slots (and
+	// the store reset in place) instead of reallocated: per-slot garbage
+	// is what caps how many nodes fit in one process.
 	slot       uint64
 	store      *Store
 	samples    []blob.CellID
-	sampleSet  map[blob.CellID]bool
 	pendingSmp map[blob.CellID]bool
 	boost      map[int][]boostParcel
 	queried    map[int]bool
@@ -118,8 +119,8 @@ type Node struct {
 	// cbSeeded records, per assigned line, which positions the builder's
 	// CB map says were seeded SOMEWHERE; those are the cheap cells to
 	// fetch and are preferred when choosing which missing cells to
-	// request.
-	cbSeeded map[blob.Line]map[int]bool
+	// request. Positions are a bitset (one word per 64 line positions).
+	cbSeeded map[blob.Line][]uint64
 	// awaitReply tracks, per queried peer, the deadline by which SOME
 	// response must arrive before the peer is reported to the liveness
 	// scorer as timed out. Only maintained when liveness is set.
@@ -134,6 +135,26 @@ type Node struct {
 	// it increments on every StartSlot, so a node that crashes and
 	// restarts within the same slot does not execute stale callbacks.
 	gen uint64
+
+	// Scratch buffers reused across calls on the event-loop hot paths
+	// (drawSamples, addCells, missingCells, planRound). All are cleared
+	// before use; none escape the call that fills them.
+	drawSeen     map[int]bool
+	touchedScr   map[blob.Line]bool
+	linesScr     []blob.Line
+	missSeen     map[blob.CellID]bool
+	missBuf      []blob.CellID
+	promOnScr    map[blob.Line]int
+	planIndex    map[blob.CellID]int
+	planLines    map[blob.Line][]int
+	planOrder    []blob.Line
+	planScores   map[int]int
+	planBoosted  map[int][]int
+	planBoostOrd []int
+	planStamp    []int
+	planSamples  []int
+	planCounts   []int
+	planScored   []fetch.Scored
 
 	// obs maintains the current slot's metrics view and (optionally)
 	// traces protocol events through cfg.Recorder.
@@ -213,26 +234,28 @@ func (n *Node) Store() *Store { return n.store }
 func (n *Node) Samples() []blob.CellID { return n.samples }
 
 // StartSlot resets per-slot state: recomputes nothing (the assignment
-// lives in the shared epoch table), creates a fresh store, and draws the
-// slot's random sample set. Fetching does not start until seed cells
+// lives in the shared epoch table), resets the store in place, and draws
+// the slot's random sample set. Fetching does not start until seed cells
 // arrive, a custody query arms the seed-wait timer, or the fallback
 // timer (3x SeedWait) fires.
 func (n *Node) StartSlot(slot uint64) {
 	n.slot = slot
 	n.gen++
 	a := n.table.Assignment(n.index)
-	n.store = NewStore(n.cfg.Blob, a, n.cfg.RealPayloads, n.verifySeeds)
+	if n.store == nil {
+		n.store = NewStore(n.cfg.Blob, a, n.cfg.RealPayloads, n.verifySeeds)
+	} else {
+		n.store.Reset(a, n.cfg.RealPayloads, n.verifySeeds)
+	}
 	n.samples = n.drawSamples()
-	n.sampleSet = make(map[blob.CellID]bool, len(n.samples))
-	n.pendingSmp = make(map[blob.CellID]bool, len(n.samples))
+	n.pendingSmp = resetMap(n.pendingSmp, len(n.samples))
 	for _, c := range n.samples {
-		n.sampleSet[c] = true
 		n.pendingSmp[c] = true
 	}
-	n.boost = make(map[int][]boostParcel)
-	n.queried = make(map[int]bool)
-	n.queryRound = make(map[int]int)
-	n.buffered = make(map[blob.CellID]map[int]bool)
+	n.boost = resetMap(n.boost, 0)
+	n.queried = resetMap(n.queried, 0)
+	n.queryRound = resetMap(n.queryRound, 0)
+	n.buffered = resetMap(n.buffered, 0)
 	n.round = 0
 	n.lastRearm = 0
 	n.roundEnds = n.roundEnds[:0]
@@ -240,13 +263,13 @@ func (n *Node) StartSlot(slot uint64) {
 	n.seedTimer = false
 	n.seedChunks = 0
 	n.seedDone = false
-	n.promised = make(map[blob.CellID]bool)
-	n.outstanding = make(map[blob.CellID][]time.Duration)
-	n.cbSeeded = make(map[blob.Line]map[int]bool)
-	n.pendingOut = make(map[int][]wire.Cell)
+	n.promised = resetMap(n.promised, 0)
+	n.outstanding = resetMap(n.outstanding, 0)
+	n.cbSeeded = resetMap(n.cbSeeded, 0)
+	n.pendingOut = resetMap(n.pendingOut, 0)
 	n.flushArmed = false
-	n.awaitReply = make(map[int]time.Duration)
-	n.badPeers = make(map[int]bool)
+	n.awaitReply = resetMap(n.awaitReply, 0)
+	n.badPeers = resetMap(n.badPeers, 0)
 	n.obs.BeginSlot(slot, n.tr.Now())
 
 	// Fallback: a node the builder does not know never receives seeds and
@@ -271,17 +294,26 @@ func (n *Node) JoinSlot(slot uint64) { n.StartSlot(slot) }
 func (n *Node) drawSamples() []blob.CellID {
 	total := n.cfg.Blob.ExtendedCells()
 	count := n.cfg.Samples
-	seen := make(map[int]bool, count)
+	n.drawSeen = resetMap(n.drawSeen, count)
 	out := make([]blob.CellID, 0, count)
 	for len(out) < count {
 		idx := n.rng.Intn(total)
-		if seen[idx] {
+		if n.drawSeen[idx] {
 			continue
 		}
-		seen[idx] = true
+		n.drawSeen[idx] = true
 		out = append(out, blob.CellIDFromIndex(idx, n.cfg.Blob.N()))
 	}
 	return out
+}
+
+// resetMap returns m emptied for reuse, allocating only on first use.
+func resetMap[K comparable, V any](m map[K]V, hint int) map[K]V {
+	if m == nil {
+		return make(map[K]V, hint)
+	}
+	clear(m)
+	return m
 }
 
 // HandleMessage dispatches a received protocol payload. It reports
@@ -349,13 +381,13 @@ func (n *Node) onSeed(m *wire.Seed) {
 		if peer < 0 {
 			continue
 		}
-		pos := n.cbSeeded[e.Line]
-		if pos == nil {
-			pos = make(map[int]bool)
-			n.cbSeeded[e.Line] = pos
+		seeded := n.cbSeeded[e.Line]
+		if seeded == nil {
+			seeded = make([]uint64, (n.cfg.Blob.N()+63)/64)
+			n.cbSeeded[e.Line] = seeded
 		}
 		for p := int(e.Start); p < int(e.Start)+int(e.Count); p++ {
-			pos[p] = true
+			seeded[p/64] |= 1 << uint(p%64)
 		}
 		if peer == n.index {
 			// Our own parcels: the builder is sending these cells to us.
@@ -485,7 +517,8 @@ func (n *Node) addCells(cells []wire.Cell) (dups, added, rejects int) {
 	if len(cells) == 0 {
 		return 0, 0, 0
 	}
-	touched := make(map[blob.Line]bool, 4)
+	touched := resetMap(n.touchedScr, 4)
+	n.touchedScr = touched
 	for _, c := range cells {
 		ok, err := n.store.Add(c)
 		if errors.Is(err, ErrBadProof) {
@@ -507,10 +540,11 @@ func (n *Node) addCells(cells []wire.Cell) (dups, added, rejects int) {
 	// Erasure reconstruction of any custody line that crossed the
 	// half-full threshold (Algorithm 1, UPONRECEIVE).
 	recon := 0
-	lines := make([]blob.Line, 0, len(touched))
+	lines := n.linesScr[:0]
 	for line := range touched {
 		lines = append(lines, line)
 	}
+	n.linesScr = lines
 	sort.Slice(lines, func(i, j int) bool {
 		if lines[i].Kind != lines[j].Kind {
 			return lines[i].Kind < lines[j].Kind
@@ -556,7 +590,7 @@ func (n *Node) armFlush() {
 		for _, to := range recipients {
 			n.sendCells(to, n.pendingOut[to])
 		}
-		n.pendingOut = make(map[int][]wire.Cell)
+		clear(n.pendingOut)
 	})
 }
 
@@ -640,13 +674,14 @@ func (n *Node) startFetch() {
 	n.runRound()
 }
 
-// missingCellsInto is the allocation-light core of missingCells.
-
 // missingCells computes F: custody cells not yet present plus samples not
-// yet present.
+// yet present. The returned slice is a scratch buffer owned by the node:
+// it is valid until the next missingCells call (each round consumes its F
+// before scheduling the next).
 func (n *Node) missingCells() []blob.CellID {
-	var out []blob.CellID
-	seen := make(map[blob.CellID]bool)
+	out := n.missBuf[:0]
+	seen := resetMap(n.missSeen, 0)
+	n.missSeen = seen
 	if !n.cfg.DisableConsolidation {
 		a := n.table.Assignment(n.index)
 		half := n.cfg.Blob.K
@@ -654,7 +689,8 @@ func (n *Node) missingCells() []blob.CellID {
 		if margin < 2 {
 			margin = 2
 		}
-		promisedOn := make(map[blob.Line]int)
+		promisedOn := resetMap(n.promOnScr, 0)
+		n.promOnScr = promisedOn
 		for id := range n.promised {
 			promisedOn[blob.Line{Kind: blob.Row, Index: id.Row}]++
 			promisedOn[blob.Line{Kind: blob.Col, Index: id.Col}]++
@@ -679,6 +715,9 @@ func (n *Node) missingCells() []blob.CellID {
 			}
 			missing := n.store.MissingOnLine(l)
 			seeded := n.cbSeeded[l]
+			isSeeded := func(pos int) bool {
+				return seeded != nil && seeded[pos/64]&(1<<uint(pos%64)) != 0
+			}
 			// Prefer positions the builder actually seeded somewhere, and
 			// rotate the starting point with the round number so that a
 			// cell that turns out to be unobtainable (lost response, dead
@@ -694,7 +733,7 @@ func (n *Node) missingCells() []blob.CellID {
 						break
 					}
 					pos := missing[(i+off)%len(missing)]
-					if (pass == 0) != seeded[pos] {
+					if (pass == 0) != isSeeded(pos) {
 						continue
 					}
 					id := cellOnLine(l, pos)
@@ -714,6 +753,7 @@ func (n *Node) missingCells() []blob.CellID {
 			out = append(out, id)
 		}
 	}
+	n.missBuf = out
 	return out
 }
 
@@ -765,7 +805,7 @@ func (n *Node) runRound() {
 	// the common case.
 	if n.round > 1 && n.round-n.lastRearm >= 8 {
 		n.lastRearm = n.round
-		n.queried = make(map[int]bool)
+		clear(n.queried)
 	}
 	plan := n.planRound(F)
 	if len(plan) == 0 && len(F) > 0 && n.round > 1 && n.round-n.lastRearm >= 4 {
@@ -775,7 +815,7 @@ func (n *Node) runRound() {
 		// in-flight markers still prevent immediate duplicate requests,
 		// and the sweep is rate-limited to one per four rounds.
 		n.lastRearm = n.round
-		n.queried = make(map[int]bool)
+		clear(n.queried)
 		plan = n.planRound(F)
 	}
 	if n.obs.Enabled() {
@@ -820,30 +860,72 @@ func (n *Node) runRound() {
 // planRound builds scored candidates over the holders of every line that
 // intersects F and plans queries with the round's redundancy factor.
 func (n *Node) planRound(F []blob.CellID) []fetch.Query {
-	index := make(map[blob.CellID]int, len(F))
+	index := resetMap(n.planIndex, len(F))
+	n.planIndex = index
 	for i, id := range F {
 		index[id] = i
 	}
 	// Group F by line (both the row and the column of each cell can
 	// serve it).
-	lineCells := make(map[blob.Line][]int)
+	lineCells := resetMap(n.planLines, 0)
+	n.planLines = lineCells
+	lineOrder := n.planOrder[:0]
 	for i, id := range F {
 		rl := blob.Line{Kind: blob.Row, Index: id.Row}
 		cl := blob.Line{Kind: blob.Col, Index: id.Col}
+		if len(lineCells[rl]) == 0 {
+			lineOrder = append(lineOrder, rl)
+		}
 		lineCells[rl] = append(lineCells[rl], i)
+		if len(lineCells[cl]) == 0 {
+			lineOrder = append(lineOrder, cl)
+		}
 		lineCells[cl] = append(lineCells[cl], i)
 	}
-	// Score candidate peers: coverage per shared line plus boost.
-	scores := make(map[int]int)
-	for line, cells := range lineCells {
-		for _, peer := range n.table.Holders(line) {
+	n.planOrder = lineOrder
+	// Score candidate peers: coverage per shared line plus boost. The
+	// scan over each line's holders is windowed at maxLineCandidates —
+	// in a dense deployment (small grid, huge N) a line can have
+	// thousands of holders, and scoring all of them made planning (and
+	// the O(N log N) sort in PlanLazyFrom) the simulator's dominant
+	// cost, O(N²) across the cluster per round. The window rotates with
+	// (node, round, line), so retries reach different peers each round;
+	// at the paper's geometry (a handful of holders per line) every
+	// holder is scored.
+	//
+	// Candidates accumulate into scored in first-encounter order —
+	// lines in F order, holders in window order — which is
+	// deterministic by construction, so equal-score ties resolve
+	// identically across runs without sorting. scores maps each peer to
+	// its index in scored.
+	scores := resetMap(n.planScores, 0)
+	n.planScores = scores
+	scored := n.planScored[:0]
+	truncated := false
+	for _, line := range lineOrder {
+		cells := lineCells[line]
+		holders := n.table.Holders(line)
+		span := len(holders)
+		off := 0
+		if span > maxLineCandidates {
+			truncated = true
+			off = scanOffset(n.index, n.round, line, span)
+			span = maxLineCandidates
+		}
+		for j := 0; j < span; j++ {
+			peer := holders[(off+j)%len(holders)]
 			if peer == n.index || n.queried[peer] {
 				continue
 			}
 			if n.view != nil && !n.view.Contains(peer) {
 				continue
 			}
-			scores[peer] += len(cells)
+			if idx, ok := scores[peer]; ok {
+				scored[idx].Score += len(cells)
+			} else {
+				scores[peer] = len(scored)
+				scored = append(scored, fetch.Scored{Peer: peer, Score: len(cells)})
+			}
 		}
 	}
 	// Consolidation boost: peers the builder's CB map lists as seeded
@@ -852,26 +934,75 @@ func (n *Node) planRound(F []blob.CellID) []fetch.Query {
 	// seeded cells, so round 1 pulls every cell from a peer that already
 	// HAS it rather than from a peer that would buffer the request until
 	// its own consolidation finishes.
-	boostedCells := make(map[int][]int)
-	stamp := make([]int, len(F))
+	boostedCells := resetMap(n.planBoosted, 0)
+	n.planBoosted = boostedCells
+	if cap(n.planStamp) < len(F) {
+		n.planStamp = make([]int, len(F))
+	}
+	stamp := n.planStamp[:len(F)]
+	for i := range stamp {
+		stamp[i] = 0
+	}
 	stampVal := 0
-	for peer, parcels := range n.boost {
-		if _, ok := scores[peer]; !ok {
-			continue // dead view / already queried / not a holder
+	// Iterate boost peers in sorted order: fallback admissions append to
+	// scored, and the append order must not depend on map iteration.
+	boostPeers := n.planBoostOrd[:0]
+	for peer := range n.boost {
+		boostPeers = append(boostPeers, peer)
+	}
+	sort.Ints(boostPeers)
+	n.planBoostOrd = boostPeers
+	for _, peer := range boostPeers {
+		parcels := n.boost[peer]
+		idx, ok := scores[peer]
+		if !ok {
+			// Full-scan rounds: absence means dead view / already
+			// queried / not a holder. Windowed rounds can also have
+			// sampled the peer out, and a CB-listed holder is exactly
+			// who round 1 must reach, so admit it through the same
+			// filters with its parcel coverage as the base score.
+			if !truncated {
+				continue
+			}
+			if peer == n.index || n.queried[peer] {
+				continue
+			}
+			if n.view != nil && !n.view.Contains(peer) {
+				continue
+			}
+			cov := 0
+			for pi, p := range parcels {
+				dup := false
+				for _, q := range parcels[:pi] {
+					if q.line == p.line {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					cov += len(lineCells[p.line])
+				}
+			}
+			if cov == 0 {
+				continue
+			}
+			idx = len(scored)
+			scores[peer] = idx
+			scored = append(scored, fetch.Scored{Peer: peer, Score: cov})
 		}
 		stampVal++
 		var cells []int
 		for _, p := range parcels {
 			for pos := p.start; pos < p.start+p.count; pos++ {
-				if idx, ok := index[cellOnLine(p.line, pos)]; ok && stamp[idx] != stampVal {
-					stamp[idx] = stampVal
-					cells = append(cells, idx)
+				if i, ok := index[cellOnLine(p.line, pos)]; ok && stamp[i] != stampVal {
+					stamp[i] = stampVal
+					cells = append(cells, i)
 				}
 			}
 		}
 		if len(cells) > 0 {
 			boostedCells[peer] = cells
-			scores[peer] += len(cells) * n.cfg.CBBoost
+			scored[idx].Score += len(cells) * n.cfg.CBBoost
 		}
 	}
 	if n.obs.Enabled() && len(boostedCells) > 0 {
@@ -883,12 +1014,7 @@ func (n *Node) planRound(F []blob.CellID) []fetch.Query {
 			Peer: -1, Round: int32(n.round), Count: int32(len(boostedCells)),
 			Aux: int64(total)})
 	}
-	scored := make([]fetch.Scored, 0, len(scores))
-	for peer, s := range scores {
-		scored = append(scored, fetch.Scored{Peer: peer, Score: s})
-	}
-	// Deterministic candidate order under equal scores.
-	sortScoredByPeer(scored)
+	n.planScored = scored
 	// Peers caught serving unverifiable cells are banned for the slot —
 	// a stronger judgment than liveness backoff, which is why it is a
 	// separate filter rather than a scorer state.
@@ -909,12 +1035,13 @@ func (n *Node) planRound(F []blob.CellID) []fetch.Query {
 
 	// Sample cells have no CB entries; boosted peers may still cover
 	// them through their assignments.
-	var sampleIdx []int
+	sampleIdx := n.planSamples[:0]
 	for i, id := range F {
 		if n.pendingSmp[id] {
 			sampleIdx = append(sampleIdx, i)
 		}
 	}
+	n.planSamples = sampleIdx
 	cellsOf := func(peer int) []int {
 		if bc, ok := boostedCells[peer]; ok {
 			out := bc
@@ -949,7 +1076,10 @@ func (n *Node) planRound(F []blob.CellID) []fetch.Query {
 	k := n.cfg.Schedule.RedundancyAt(n.round)
 	// Unexpired in-flight queries count toward each cell's redundancy.
 	now := n.tr.Now()
-	counts := make([]int, len(F))
+	if cap(n.planCounts) < len(F) {
+		n.planCounts = make([]int, len(F))
+	}
+	counts := n.planCounts[:len(F)]
 	for i, id := range F {
 		exps := n.outstanding[id]
 		live := exps[:0]
@@ -975,8 +1105,24 @@ func (n *Node) planRound(F []blob.CellID) []fetch.Query {
 	return plan
 }
 
-// sortScoredByPeer orders candidates by peer index so that equal-score
-// ordering is deterministic across runs (map iteration is not).
-func sortScoredByPeer(s []fetch.Scored) {
-	sort.Slice(s, func(i, j int) bool { return s[i].Peer < s[j].Peer })
+// maxLineCandidates bounds how many holders of one line planRound
+// scores. The redundancy ceiling is fetch.MaxRedundancy (10), so 64
+// candidates per line leave ample slack for liveness demotions and
+// banned peers while keeping planning O(lines) instead of O(N). See
+// the comment at the scoring loop.
+const maxLineCandidates = 64
+
+// scanOffset picks the rotating window start for a line's holder scan:
+// deterministic in (node, round, line) so runs are reproducible, varied
+// across rounds so successive retries sample different holders.
+func scanOffset(self, round int, l blob.Line, n int) int {
+	x := uint64(self)*0x9e3779b97f4a7c15 ^
+		uint64(round)*0xc2b2ae3d27d4eb4f ^
+		(uint64(l.Index)<<3|uint64(l.Kind))*0xd6e8feb86659fd93
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
 }

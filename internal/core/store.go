@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"pandas/internal/assign"
 	"pandas/internal/blob"
@@ -21,22 +22,28 @@ var (
 // in real-payload mode — the cell bytes and proofs themselves.
 //
 // The store is deliberately sparse: a node never tracks the full 512x512
-// matrix, only its ~16 custody lines and 73 samples, keeping per-node
-// memory in the low kilobytes so simulations scale to 20,000 nodes. Line
-// lookup is a linear scan over at most a handful of entries, which
-// profiles faster than any map for these sizes and allocates nothing.
+// matrix, only its ~16 custody lines and 73 samples. All line bitmaps
+// live in one shared slab ([]uint64) and off-custody samples in a short
+// sorted index slice, so metadata-mode custody state is a handful of
+// allocations per node and a few hundred bytes — the budget that lets a
+// single process hold 100k+ nodes. Line lookup is a linear scan over at
+// most a handful of entries, which profiles faster than any map for
+// these sizes and allocates nothing.
 type Store struct {
 	params blob.Params
 	n      int
 	real   bool
 
 	rowIdx []uint16
-	rowLS  []*lineState
 	colIdx []uint16
-	colLS  []*lineState
+	// lines holds row states first (parallel to rowIdx), then column
+	// states (parallel to colIdx); every bitmap is a view into slab.
+	lines []lineState
+	slab  []uint64
 
-	// extras holds cells outside every custody line (random samples).
-	extras map[blob.CellID]bool
+	// extras holds cells outside every custody line (random samples) as
+	// sorted flat cell indices.
+	extras []uint32
 	// data holds payloads in real mode, keyed by flat cell index.
 	data map[int]wire.Cell
 
@@ -68,26 +75,53 @@ func (ls *lineState) set(pos int) bool {
 // which lines are tracked; real selects payload mode; verify enables
 // per-cell proof checks against the commitment (real mode only).
 func NewStore(p blob.Params, a assign.Assignment, real, verify bool) *Store {
-	s := &Store{
-		params: p,
-		n:      p.N(),
-		real:   real,
-		verify: verify && real,
-		extras: make(map[blob.CellID]bool),
-	}
-	if real {
-		s.data = make(map[int]wire.Cell)
-	}
-	words := (s.n + 63) / 64
-	for _, r := range a.Rows {
-		s.rowIdx = append(s.rowIdx, r)
-		s.rowLS = append(s.rowLS, &lineState{bits: make([]uint64, words)})
-	}
-	for _, c := range a.Cols {
-		s.colIdx = append(s.colIdx, c)
-		s.colLS = append(s.colLS, &lineState{bits: make([]uint64, words)})
-	}
+	s := &Store{params: p, n: p.N()}
+	s.Reset(a, real, verify)
 	return s
+}
+
+// Reset reinitializes the store for a new slot, reusing the bitmap slab,
+// index slices, and payload map of the previous slot. A node keeps one
+// Store for its whole lifetime instead of allocating ~20 objects per
+// slot; at 100k nodes that is the difference between a steady heap and
+// gigabytes of per-slot garbage.
+func (s *Store) Reset(a assign.Assignment, real, verify bool) {
+	s.real = real
+	s.verify = verify && real
+	s.commitment = kzg.Commitment{}
+	s.hasCommitment = false
+	if real {
+		if s.data == nil {
+			s.data = make(map[int]wire.Cell)
+		} else {
+			clear(s.data)
+		}
+	} else {
+		s.data = nil
+	}
+	s.extras = s.extras[:0]
+	s.rowIdx = append(s.rowIdx[:0], a.Rows...)
+	s.colIdx = append(s.colIdx[:0], a.Cols...)
+
+	words := (s.n + 63) / 64
+	nLines := len(s.rowIdx) + len(s.colIdx)
+	if cap(s.lines) < nLines {
+		s.lines = make([]lineState, nLines)
+	} else {
+		s.lines = s.lines[:nLines]
+	}
+	need := nLines * words
+	if cap(s.slab) < need {
+		s.slab = make([]uint64, need)
+	} else {
+		s.slab = s.slab[:need]
+		for i := range s.slab {
+			s.slab[i] = 0
+		}
+	}
+	for i := range s.lines {
+		s.lines[i] = lineState{bits: s.slab[i*words : (i+1)*words]}
+	}
 }
 
 // SetCommitment records the blob commitment used for proof verification
@@ -106,7 +140,7 @@ func (s *Store) Commitment() (kzg.Commitment, bool) {
 func (s *Store) rowState(r uint16) *lineState {
 	for i, x := range s.rowIdx {
 		if x == r {
-			return s.rowLS[i]
+			return &s.lines[i]
 		}
 	}
 	return nil
@@ -116,7 +150,7 @@ func (s *Store) rowState(r uint16) *lineState {
 func (s *Store) colState(c uint16) *lineState {
 	for i, x := range s.colIdx {
 		if x == c {
-			return s.colLS[i]
+			return &s.lines[len(s.rowIdx)+i]
 		}
 	}
 	return nil
@@ -128,6 +162,27 @@ func (s *Store) lineStateOf(l blob.Line) *lineState {
 		return s.rowState(l.Index)
 	}
 	return s.colState(l.Index)
+}
+
+// extraHas reports whether the cell is recorded as an off-custody extra.
+func (s *Store) extraHas(id blob.CellID) bool {
+	idx := uint32(id.Index(s.n))
+	i := sort.Search(len(s.extras), func(i int) bool { return s.extras[i] >= idx })
+	return i < len(s.extras) && s.extras[i] == idx
+}
+
+// extraAdd records an off-custody extra, keeping the index sorted. It
+// returns false for duplicates.
+func (s *Store) extraAdd(id blob.CellID) bool {
+	idx := uint32(id.Index(s.n))
+	i := sort.Search(len(s.extras), func(i int) bool { return s.extras[i] >= idx })
+	if i < len(s.extras) && s.extras[i] == idx {
+		return false
+	}
+	s.extras = append(s.extras, 0)
+	copy(s.extras[i+1:], s.extras[i:])
+	s.extras[i] = idx
+	return true
 }
 
 // Covered reports whether the cell lies on one of the tracked custody
@@ -145,7 +200,7 @@ func (s *Store) Has(id blob.CellID) bool {
 	if ls := s.colState(id.Col); ls != nil {
 		return ls.has(int(id.Row))
 	}
-	return s.extras[id]
+	return s.extraHas(id)
 }
 
 // Add records a received cell. It returns false when the cell was already
@@ -180,8 +235,7 @@ func (s *Store) Add(c wire.Cell) (bool, error) {
 			added = true
 		}
 	}
-	if !covered && !s.extras[c.ID] {
-		s.extras[c.ID] = true
+	if !covered && s.extraAdd(c.ID) {
 		added = true
 	}
 	if added && s.real {
@@ -209,10 +263,10 @@ func (s *Store) Get(id blob.CellID) (wire.Cell, bool) {
 //
 // Aliasing contract: in real-payload mode the returned Cell's Data
 // slice aliases the store's internal storage. Callers must treat it as
-// read-only and must not retain it across StartSlot (which replaces
-// the store wholesale); a caller that needs a private copy — e.g. to
-// cache past the slot boundary — must copy Data itself. Mutating the
-// returned payload corrupts custody state for every later reader (see
+// read-only and must not retain it across StartSlot (which resets the
+// store in place); a caller that needs a private copy — e.g. to cache
+// past the slot boundary — must copy Data itself. Mutating the returned
+// payload corrupts custody state for every later reader (see
 // TestStorePeekAliasing). In metadata mode the returned cell has a nil
 // payload, exactly like Get.
 func (s *Store) Peek(id blob.CellID) (wire.Cell, bool) {
@@ -323,13 +377,8 @@ func cellOnLine(l blob.Line, pos int) blob.CellID {
 // CompleteLines returns how many tracked lines are fully present.
 func (s *Store) CompleteLines() int {
 	done := 0
-	for _, ls := range s.rowLS {
-		if ls.count == s.n {
-			done++
-		}
-	}
-	for _, ls := range s.colLS {
-		if ls.count == s.n {
+	for i := range s.lines {
+		if s.lines[i].count == s.n {
 			done++
 		}
 	}
@@ -337,4 +386,4 @@ func (s *Store) CompleteLines() int {
 }
 
 // TrackedLines returns the number of custody lines.
-func (s *Store) TrackedLines() int { return len(s.rowLS) + len(s.colLS) }
+func (s *Store) TrackedLines() int { return len(s.lines) }

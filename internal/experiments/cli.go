@@ -1,0 +1,105 @@
+package experiments
+
+// Shared command-line parsing for the experiment runners. The old CLIs
+// had three hand-rolled list parsers with inconsistent error handling —
+// sizes and fractions silently dropped malformed entries while churn
+// rates errored — so a typo like "-sizes 1000,2k" ran the sweep on half
+// the intended points without a word. These parsers reject every
+// malformed or out-of-range entry.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseIntList parses a comma-separated list of positive integers.
+// Empty input yields nil (callers substitute their defaults); any
+// malformed or non-positive entry is an error naming the flag.
+func ParseIntList(flagName, s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("%s: %q is not a positive integer", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseFloatList parses a comma-separated list of floats in [min, max).
+// Empty input yields nil; any malformed or out-of-range entry is an
+// error naming the flag.
+func ParseFloatList(flagName, s string, min, max float64) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v < min || v >= max {
+			return nil, fmt.Errorf("%s: %q is not a number in [%v, %v)", flagName, part, min, max)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// intListValue adapts ParseIntList to flag.Value.
+type intListValue struct {
+	name string
+	dst  *[]int
+}
+
+func (v *intListValue) String() string {
+	if v == nil || v.dst == nil {
+		return ""
+	}
+	parts := make([]string, len(*v.dst))
+	for i, x := range *v.dst {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (v *intListValue) Set(s string) error {
+	xs, err := ParseIntList(v.name, s)
+	if err != nil {
+		return err
+	}
+	*v.dst = xs
+	return nil
+}
+
+// floatListValue adapts ParseFloatList to flag.Value.
+type floatListValue struct {
+	name     string
+	dst      *[]float64
+	min, max float64
+}
+
+func (v *floatListValue) String() string {
+	if v == nil || v.dst == nil {
+		return ""
+	}
+	parts := make([]string, len(*v.dst))
+	for i, x := range *v.dst {
+		parts[i] = strconv.FormatFloat(x, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (v *floatListValue) Set(s string) error {
+	xs, err := ParseFloatList(v.name, s, v.min, v.max)
+	if err != nil {
+		return err
+	}
+	*v.dst = xs
+	return nil
+}

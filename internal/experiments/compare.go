@@ -53,7 +53,7 @@ func runSystem(sys System, o Options) (*SystemResult, error) {
 		}
 		return &SystemResult{Sampling: metrics.NewDistribution(samp), Msgs: msgs, Bytes: bytes}, nil
 	case SystemGossip, SystemDHT:
-		cfg := baseline.Config{Core: o.Core, N: o.Nodes, Seed: o.Seed, LossRate: o.LossRate}
+		cfg := baseline.Config{Core: o.Core, N: o.Nodes, Seed: o.Seed, LossRate: *o.LossRate}
 		var run func(uint64) (*baseline.Result, error)
 		if sys == SystemGossip {
 			g, err := baseline.NewGossipCluster(cfg)

@@ -29,9 +29,18 @@ type Options struct {
 	Seed int64
 	// Core holds protocol parameters; zero value selects DefaultConfig.
 	Core core.Config
-	// LossRate is the message loss (negative selects the 3% default).
-	LossRate float64
+	// LossRate is the message loss probability in [0, 1). nil selects
+	// the simulator default (3%); Loss(0) disables loss entirely. The
+	// pointer removes the old ambiguity where the zero value conflated
+	// "unset" with "lossless" and callers had to smuggle a negative
+	// sentinel to get a lossless run. Negative rates clamp to 0.
+	LossRate *float64
 }
+
+// Loss builds an Options.LossRate value: Loss(0.1) requests 10% loss,
+// Loss(0) requests a lossless network. Leave the field nil for the
+// simulator default.
+func Loss(rate float64) *float64 { return &rate }
 
 // withDefaults fills unset fields.
 func (o Options) withDefaults() Options {
@@ -44,18 +53,17 @@ func (o Options) withDefaults() Options {
 	if o.Core.Blob.K == 0 {
 		o.Core = core.DefaultConfig()
 	}
-	if o.LossRate == 0 {
-		o.LossRate = simnet.DefaultLossRate
-	}
-	if o.LossRate < 0 {
-		o.LossRate = 0
+	if o.LossRate == nil {
+		o.LossRate = Loss(simnet.DefaultLossRate)
+	} else if *o.LossRate < 0 {
+		o.LossRate = Loss(0)
 	}
 	return o
 }
 
 // TestOptions returns a fast configuration for unit tests and examples.
 func TestOptions() Options {
-	return Options{Nodes: 120, Slots: 2, Seed: 7, Core: core.TestConfig(), LossRate: simnet.DefaultLossRate}
+	return Options{Nodes: 120, Slots: 2, Seed: 7, Core: core.TestConfig()}
 }
 
 // PhaseTimes groups the per-phase distributions of Fig. 9.
@@ -106,7 +114,7 @@ func newCluster(o Options, mutate func(*core.ClusterConfig)) (*core.Cluster, err
 		Core:     o.Core,
 		N:        o.Nodes,
 		Seed:     o.Seed,
-		LossRate: o.LossRate,
+		LossRate: *o.LossRate,
 	}
 	if mutate != nil {
 		mutate(&cc)

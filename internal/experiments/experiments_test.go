@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pandas/internal/core"
+	"pandas/internal/simnet"
 )
 
 func TestFig9SmallScale(t *testing.T) {
@@ -264,9 +265,16 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.Nodes != 1000 || o.Slots != 10 || o.Core.Blob.K != 256 {
 		t.Fatalf("defaults wrong: %+v", o)
 	}
-	neg := Options{LossRate: -1}.withDefaults()
-	if neg.LossRate != 0 {
+	if *o.LossRate != simnet.DefaultLossRate {
+		t.Fatalf("nil loss should select the default, got %v", *o.LossRate)
+	}
+	neg := Options{LossRate: Loss(-1)}.withDefaults()
+	if *neg.LossRate != 0 {
 		t.Fatal("negative loss should mean zero")
+	}
+	zero := Options{LossRate: Loss(0)}.withDefaults()
+	if *zero.LossRate != 0 {
+		t.Fatal("explicit zero loss must stay zero, not revert to the default")
 	}
 }
 

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"pandas/internal/core"
+)
+
+// TestScaleProfile runs one metadata slot at SCALE_N nodes; used with
+// -cpuprofile/-memprofile to hunt superlinear costs. Skipped unless
+// SCALE_N is set.
+func TestScaleProfile(t *testing.T) {
+	n, _ := strconv.Atoi(os.Getenv("SCALE_N"))
+	if n == 0 {
+		t.Skip("set SCALE_N to profile")
+	}
+	o := Options{Nodes: n, Slots: 1, Seed: 1, Core: core.TestConfig()}
+	res, err := Scale(o, []int{n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.Render())
+}

@@ -1,0 +1,127 @@
+package experiments
+
+// The scale experiment measures the simulator itself rather than the
+// protocol: how much resident memory one simulated node costs in
+// metadata mode and how many discrete events per wall-clock second the
+// engine sustains, across network sizes. These are the gates that back
+// the 100k-1M node claims (compact per-node state + pooled sharded
+// event heap); scripts/bench.sh runs the 100k point and enforces
+// bytes/node and events/sec floors.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"pandas/internal/metrics"
+)
+
+// ScalePoint is one network size of the capacity sweep.
+type ScalePoint struct {
+	Nodes int
+	// BytesPerNode is the post-GC heap growth from building and running
+	// the cluster, divided by N: the resident cost of one simulated
+	// node (stores, views, routing state, amortized event pool).
+	BytesPerNode float64
+	// Events is the total discrete events executed across all slots.
+	Events uint64
+	// EventsPerSec is Events divided by the wall-clock run time.
+	EventsPerSec float64
+	// Wall is the wall-clock time of the slot runs (excludes build).
+	Wall time.Duration
+	// Build is the wall-clock time of cluster construction.
+	Build time.Duration
+	// DeadlineRate is the fraction of live nodes sampling on time.
+	DeadlineRate float64
+}
+
+// ScaleResult holds the capacity sweep.
+type ScaleResult struct {
+	Options Options
+	Points  []ScalePoint
+}
+
+// Scale runs a metadata-mode cluster at each size and reports the
+// simulator's resource profile. Memory is measured as the post-GC
+// HeapAlloc delta around build+run, so it reflects state the cluster
+// retains, not transient garbage.
+func Scale(o Options, sizes []int) (*ScaleResult, error) {
+	o = o.withDefaults()
+	if len(sizes) == 0 {
+		sizes = []int{1000, 10000}
+	}
+	res := &ScaleResult{Options: o, Points: make([]ScalePoint, 0, len(sizes))}
+	for _, n := range sizes {
+		ro := o
+		ro.Nodes = n
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+
+		buildStart := time.Now()
+		c, err := newCluster(ro, nil)
+		if err != nil {
+			return nil, err
+		}
+		build := time.Since(buildStart)
+
+		runStart := time.Now()
+		outcomes, _, err := runSlots(c, ro.Slots)
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(runStart)
+
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		// Read the event counter after the memory probe so the cluster
+		// (and everything it retains) stays reachable across the GC.
+		events := c.Network().Engine().Executed()
+
+		p := ScalePoint{Nodes: n, Events: events, Wall: wall, Build: build}
+		if after.HeapAlloc > before.HeapAlloc {
+			p.BytesPerNode = float64(after.HeapAlloc-before.HeapAlloc) / float64(n)
+		}
+		if wall > 0 {
+			p.EventsPerSec = float64(events) / wall.Seconds()
+		}
+		live, onTime := 0, 0
+		for _, out := range outcomes {
+			if out.Dead {
+				continue
+			}
+			live++
+			if out.Sampling >= 0 && out.Sampling <= ro.Core.Deadline {
+				onTime++
+			}
+		}
+		if live > 0 {
+			p.DeadlineRate = float64(onTime) / float64(live)
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// Render prints the capacity table.
+func (r *ScaleResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Simulator capacity — metadata mode, %d slots, geometry %dx%d\n",
+		r.Options.Slots, r.Options.Core.Blob.N(), r.Options.Core.Blob.N())
+	tab := metrics.NewTable("nodes", "bytes/node", "events", "events/sec", "build", "run", "on-time%")
+	for _, p := range r.Points {
+		tab.AddRow(
+			fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%.0f", p.BytesPerNode),
+			fmt.Sprintf("%d", p.Events),
+			fmt.Sprintf("%.0f", p.EventsPerSec),
+			p.Build.Round(time.Millisecond).String(),
+			p.Wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f", 100*p.DeadlineRate),
+		)
+	}
+	b.WriteString(tab.String())
+	return b.String()
+}

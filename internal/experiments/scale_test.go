@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pandas/internal/core"
+)
+
+func TestScaleSweep(t *testing.T) {
+	o := TestOptions()
+	o.Slots = 1
+	res, err := Scale(o, []int{60, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Events == 0 {
+			t.Fatalf("N=%d: no events executed", p.Nodes)
+		}
+		if p.EventsPerSec <= 0 {
+			t.Fatalf("N=%d: events/sec = %v", p.Nodes, p.EventsPerSec)
+		}
+		if p.DeadlineRate <= 0 {
+			t.Fatalf("N=%d: no node sampled on time", p.Nodes)
+		}
+	}
+	// More nodes means more work.
+	if res.Points[1].Events <= res.Points[0].Events {
+		t.Fatalf("events did not grow with N: %d vs %d", res.Points[0].Events, res.Points[1].Events)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "bytes/node") || !strings.Contains(out, "events/sec") {
+		t.Fatalf("render missing columns:\n%s", out)
+	}
+}
+
+// BenchmarkSimnetScale100k is the scripts/bench.sh capacity gate: one
+// full metadata-mode slot at 100,000 nodes, reporting resident
+// bytes/node and engine events/sec (run with -benchtime=1x).
+func BenchmarkSimnetScale100k(b *testing.B) {
+	o := Options{Nodes: 100_000, Slots: 1, Seed: 1, Core: core.TestConfig()}
+	for i := 0; i < b.N; i++ {
+		res, err := Scale(o, []int{o.Nodes})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := res.Points[0]
+		if p.DeadlineRate < 0.9 {
+			b.Fatalf("100k-node run missed the sampling deadline: on-time %.1f%%", 100*p.DeadlineRate)
+		}
+		b.ReportMetric(p.BytesPerNode, "bytes/node")
+		b.ReportMetric(p.EventsPerSec, "events/sec")
+	}
+}

@@ -21,7 +21,7 @@
 package fetch
 
 import (
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -140,8 +140,8 @@ func Plan(candidates []Candidate, numCells, k, cbBoost int) []Query {
 	}
 	sorted := make([]Candidate, len(candidates))
 	copy(sorted, candidates)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		return sorted[i].score(cbBoost) > sorted[j].score(cbBoost)
+	slices.SortStableFunc(sorted, func(a, b Candidate) int {
+		return b.score(cbBoost) - a.score(cbBoost)
 	})
 
 	counts := make([]int, numCells) // planned queries per cell
@@ -287,8 +287,8 @@ func PlanLazyFrom(scored []Scored, counts []int, k int, cellsOf func(peer int) [
 	}
 	sorted := make([]Scored, len(scored))
 	copy(sorted, scored)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		return sorted[i].Score > sorted[j].Score
+	slices.SortStableFunc(sorted, func(a, b Scored) int {
+		return b.Score - a.Score
 	})
 	under := 0
 	for _, c := range counts {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	mrand "math/rand"
+	"sync"
 )
 
 // IDSize is the size of a NodeID in bytes.
@@ -99,6 +100,23 @@ func NewTestIdentity(seed int64) *Identity {
 		panic(fmt.Sprintf("ids: test identity: %v", err))
 	}
 	return id
+}
+
+// testIDCache interns NewTestIdentityCached results. Identities are
+// immutable after construction, so sharing one *Identity across clusters
+// is safe (including concurrently — sweeps run clusters in parallel).
+var testIDCache sync.Map // int64 -> *Identity
+
+// NewTestIdentityCached is NewTestIdentity behind a process-wide cache:
+// the same seed always yields the same identity, so large simulations
+// that rebuild clusters point after point skip the ~50µs ed25519 keygen
+// per node — at 100k nodes that is seconds per cluster construction.
+func NewTestIdentityCached(seed int64) *Identity {
+	if v, ok := testIDCache.Load(seed); ok {
+		return v.(*Identity)
+	}
+	v, _ := testIDCache.LoadOrStore(seed, NewTestIdentity(seed))
+	return v.(*Identity)
 }
 
 func newIdentityFrom(r io.Reader) (*Identity, error) {

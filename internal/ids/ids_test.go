@@ -135,3 +135,19 @@ func TestNodeIDStrings(t *testing.T) {
 		t.Fatalf("Hex length = %d", len(id.Hex()))
 	}
 }
+
+// TestNewTestIdentityCached checks the interned constructor returns the
+// same identity as the uncached one and a stable pointer per seed.
+func TestNewTestIdentityCached(t *testing.T) {
+	a := NewTestIdentityCached(1234)
+	b := NewTestIdentityCached(1234)
+	if a != b {
+		t.Fatal("cache returned distinct pointers for one seed")
+	}
+	if fresh := NewTestIdentity(1234); fresh.ID != a.ID {
+		t.Fatalf("cached ID %v != fresh ID %v", a.ID, fresh.ID)
+	}
+	if other := NewTestIdentityCached(1235); other.ID == a.ID {
+		t.Fatal("distinct seeds collided")
+	}
+}

@@ -1,0 +1,63 @@
+package membership
+
+import "math"
+
+// SampledView is a compact, allocation-free stand-in for the LiveView
+// used by the out-of-view fault model: instead of materializing each
+// node's random (1-f) subset of the network as a hash set — O(N) memory
+// and O(N) rng draws per node, so O(N²) for the cluster — membership is
+// a deterministic per-(self, peer) hash draw against a keep threshold.
+// Every node still sees an independent uniform ~(1-f) sample of the
+// network, but a 100k-node cluster pays 16 bytes per view instead of
+// rebuilding 100k maps of 100k entries.
+//
+// The trade against LiveView is mutability: SampledView cannot evolve,
+// so it serves only the static out-of-view sweeps. Deployments with
+// churn keep LiveView (the announcement mesh and DHT crawls must update
+// views in place).
+type SampledView struct {
+	seed      uint64
+	self      uint64
+	threshold uint64
+}
+
+// NewSampledView creates the view for one node. keep is the fraction of
+// peers visible (clamped to [0, 1]); seed must be shared by the whole
+// cluster so the per-pair draws are reproducible.
+func NewSampledView(seed uint64, self int, keep float64) SampledView {
+	if keep < 0 {
+		keep = 0
+	}
+	// keep*MaxUint64 overflows the uint64 conversion at keep=1 (the
+	// float rounds up to 2^64), so the full-view case is pinned exactly.
+	threshold := uint64(math.MaxUint64)
+	if keep < 1 {
+		threshold = uint64(keep * float64(1<<63) * 2)
+	}
+	return SampledView{
+		seed:      seed,
+		self:      uint64(self),
+		threshold: threshold,
+	}
+}
+
+// Contains implements View. A node always sees itself.
+func (v SampledView) Contains(peer int) bool {
+	if uint64(peer) == v.self {
+		return true
+	}
+	h := mix64(v.seed ^ v.self*0x9e3779b97f4a7c15)
+	h = mix64(h ^ uint64(peer)*0xc2b2ae3d27d4eb4f)
+	return h <= v.threshold
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// hash for the per-pair visibility draw.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

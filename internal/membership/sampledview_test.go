@@ -1,0 +1,72 @@
+package membership
+
+import "testing"
+
+// TestSampledViewStatistics checks the sampled view behaves like a
+// uniform (keep) sample: self always visible, deterministic, and the
+// visible fraction close to keep for several nodes.
+func TestSampledViewStatistics(t *testing.T) {
+	const n = 20000
+	for _, keep := range []float64{0.2, 0.6, 0.8} {
+		for self := 0; self < 5; self++ {
+			v := NewSampledView(12345, self, keep)
+			if !v.Contains(self) {
+				t.Fatalf("keep=%v: node %d cannot see itself", keep, self)
+			}
+			count := 0
+			for p := 0; p < n; p++ {
+				if p != self && v.Contains(p) {
+					count++
+				}
+			}
+			frac := float64(count) / float64(n-1)
+			if frac < keep-0.02 || frac > keep+0.02 {
+				t.Errorf("keep=%v self=%d: visible fraction %.4f off by more than 0.02", keep, self, frac)
+			}
+			// Determinism: a second instance agrees everywhere.
+			v2 := NewSampledView(12345, self, keep)
+			for p := 0; p < 100; p++ {
+				if v.Contains(p) != v2.Contains(p) {
+					t.Fatalf("keep=%v self=%d: nondeterministic at peer %d", keep, self, p)
+				}
+			}
+		}
+	}
+}
+
+// TestSampledViewIndependence: different nodes (and different seeds)
+// must not share the same visible subset.
+func TestSampledViewIndependence(t *testing.T) {
+	a := NewSampledView(1, 0, 0.5)
+	b := NewSampledView(1, 1, 0.5)
+	c := NewSampledView(2, 0, 0.5)
+	sameAB, sameAC := 0, 0
+	const n = 4096
+	for p := 2; p < n; p++ {
+		if a.Contains(p) == b.Contains(p) {
+			sameAB++
+		}
+		if a.Contains(p) == c.Contains(p) {
+			sameAC++
+		}
+	}
+	// Independent 50% draws agree about half the time; identical draws
+	// would agree always.
+	if sameAB > n*3/4 || sameAC > n*3/4 {
+		t.Fatalf("views look correlated: sameAB=%d sameAC=%d of %d", sameAB, sameAC, n)
+	}
+}
+
+// TestSampledViewEdges pins the degenerate keep fractions.
+func TestSampledViewEdges(t *testing.T) {
+	none := NewSampledView(9, 3, 0)
+	all := NewSampledView(9, 3, 1)
+	for p := 0; p < 100; p++ {
+		if p != 3 && none.Contains(p) {
+			t.Fatalf("keep=0 sees peer %d", p)
+		}
+		if !all.Contains(p) {
+			t.Fatalf("keep=1 misses peer %d", p)
+		}
+	}
+}

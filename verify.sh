@@ -22,10 +22,10 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (membership, core, fetch, blob, rs, gf65536, kzg, obsv, transport, wire, adversary, gateway)"
+echo "== go test -race (membership, core, fetch, blob, rs, gf65536, kzg, obsv, transport, wire, adversary, gateway, simnet)"
 go test -race ./internal/membership ./internal/core ./internal/fetch \
 	./internal/blob ./internal/rs ./internal/gf65536 ./internal/kzg \
 	./internal/obsv ./internal/transport ./internal/wire \
-	./internal/adversary ./internal/gateway
+	./internal/adversary ./internal/gateway ./internal/simnet
 
 echo "verify: OK"
