@@ -26,8 +26,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"pandas/internal/assign"
@@ -37,6 +39,7 @@ import (
 	"pandas/internal/ids"
 	"pandas/internal/kzg"
 	"pandas/internal/obsv"
+	"pandas/internal/swarm"
 	"pandas/internal/transport"
 	"pandas/internal/wire"
 )
@@ -62,9 +65,21 @@ func run(args []string) error {
 		slotGap   = fs.Duration("slot-gap", 12*time.Second, "time between slots")
 		metrics   = fs.String("metrics", "", "serve Prometheus text metrics at http://ADDR/metrics (e.g. :9464)")
 		gwAddr    = fs.String("gateway", "", "serve light-client sampling queries at http://ADDR/v1/cell (non-builder only)")
+		swarmSup  = fs.String("swarm", "", "run as a swarm worker of the supervisor at ADDR (config arrives over the control channel; only -index applies)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *swarmSup != "" {
+		if *index < 0 {
+			return fmt.Errorf("-swarm requires -index")
+		}
+		return swarm.RunWorker(swarm.WorkerOptions{
+			Supervisor: *swarmSup,
+			Index:      *index,
+			Restarts:   swarm.RestartsFromEnv(),
+			Log:        os.Stderr,
+		})
 	}
 	if *peersFile == "" || *index < 0 {
 		return fmt.Errorf("both -peers and -index are required")
@@ -131,6 +146,20 @@ func run(args []string) error {
 
 	proposer := ids.NewTestIdentity(*seed<<16 + 999)
 
+	// Graceful drain: on SIGINT/SIGTERM stop cleanly — close the
+	// transport (deferred above), flush a final metrics snapshot, and
+	// exit 0 — so fleet supervisors can recycle processes without
+	// losing observability.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	drain := func(sig os.Signal) {
+		fmt.Printf("pandas-node %d: draining on %v\n", *index, sig)
+		if reg != nil {
+			_ = reg.Snapshot().WritePrometheus(os.Stderr)
+		}
+	}
+
 	if *builder {
 		b := core.NewBuilder(cfg, *index, ids.NewTestIdentity(*seed<<16+int64(nNodes)+3).ID, table, ep, *seed+5)
 		b.SetProposerSigner(func(slot uint64) [wire.SigSize]byte {
@@ -163,11 +192,20 @@ func run(args []string) error {
 			})
 			<-done
 			if s < uint64(*slots) {
-				time.Sleep(*slotGap)
+				select {
+				case <-time.After(*slotGap):
+				case sig := <-sigc:
+					drain(sig)
+					return nil
+				}
 			}
 		}
 		// Give responses time to drain before exiting.
-		time.Sleep(2 * time.Second)
+		select {
+		case <-time.After(2 * time.Second):
+		case sig := <-sigc:
+			drain(sig)
+		}
 		return nil
 	}
 
@@ -183,8 +221,10 @@ func run(args []string) error {
 		<-done
 	}
 	startSlot(slot)
-	fmt.Printf("node %d ready: custody %v, sampling %d cells per slot\n",
-		*index, table.Assignment(*index).Lines(), cfg.Samples)
+	// The machine-parseable readiness probe: supervisors wait for this
+	// line before driving traffic at the process.
+	fmt.Printf("ready index=%d addr=%s custody=%v samples=%d\n",
+		*index, ep.Addr(), table.Assignment(*index).Lines(), cfg.Samples)
 
 	// Optional sampling-as-a-service frontend: light clients query
 	// (slot, row, col) over HTTP; the gateway coalesces and caches so
@@ -279,7 +319,13 @@ func run(args []string) error {
 
 	ticker := time.NewTicker(500 * time.Millisecond)
 	defer ticker.Stop()
-	for range ticker.C {
+	for {
+		select {
+		case sig := <-sigc:
+			drain(sig)
+			return nil
+		case <-ticker.C:
+		}
 		status := make(chan string, 1)
 		ep.Run(func() {
 			m := node.Metrics()
@@ -310,7 +356,6 @@ func run(args []string) error {
 		})
 		fmt.Println(<-status)
 	}
-	return nil
 }
 
 // clientKey folds a remote address into the gateway's per-client

@@ -1,0 +1,98 @@
+// Command pandas-swarm runs a multi-process PANDAS deployment on one
+// machine: it launches N pandas-node worker processes plus a builder
+// process, distributes configuration over a UDP control channel, waits
+// for the workers' discovery crawl to converge from a handful of
+// bootstrap peers, then drives slots end-to-end over real sockets and
+// prints a per-slot report in the simnet's schema.
+//
+//	pandas-swarm -n 64 -slots 3
+//	pandas-swarm -n 32 -slots 5 -kill 0.1        # kill 10% of nodes per slot
+//	pandas-swarm -n 8 -bin ./pandas-node         # use a prebuilt worker binary
+//
+// Without -bin the worker binary is compiled from the enclosing module
+// (go build pandas/cmd/pandas-node) into a temporary directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pandas/internal/swarm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pandas-swarm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pandas-swarm", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 64, "protocol nodes (one process each, plus a builder process)")
+		slots     = fs.Int("slots", 3, "slots to drive")
+		seed      = fs.Int64("seed", 42, "deployment seed")
+		k         = fs.Int("k", 8, "base matrix size K (extended is 2K x 2K)")
+		custody   = fs.Int("custody", 4, "rows and columns per node")
+		samples   = fs.Int("samples", 6, "random cells sampled per slot")
+		kill      = fs.Float64("kill", 0, "fraction of node processes killed per slot (fault injection)")
+		killDelay = fs.Duration("kill-delay", 500*time.Millisecond, "kill injection delay after slot start")
+		bootstrap = fs.Int("bootstrap", 4, "bootstrap peers handed to each worker")
+		bin       = fs.String("bin", "", "prebuilt pandas-node binary (default: go build from the module)")
+		timeout   = fs.Duration("timeout", 0, "hard wall-clock limit for the whole run (0 = none)")
+		quiet     = fs.Bool("q", false, "suppress supervisor/worker diagnostics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "pandas-swarm: timeout after %v\n", *timeout)
+			os.Exit(2)
+		})
+	}
+
+	workerBin := *bin
+	if workerBin == "" {
+		dir, err := os.MkdirTemp("", "pandas-swarm-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		fmt.Fprintln(os.Stderr, "pandas-swarm: building pandas-node worker binary...")
+		workerBin, err = swarm.BuildNodeBinary(dir)
+		if err != nil {
+			return err
+		}
+	}
+
+	g := swarm.DefaultGeometry()
+	g.K = *k
+	g.Custody = *custody
+	g.Samples = *samples
+
+	opts := swarm.Options{
+		N:             *n,
+		Slots:         *slots,
+		Seed:          *seed,
+		Geometry:      g,
+		BootstrapSize: *bootstrap,
+		KillFraction:  *kill,
+		KillDelay:     *killDelay,
+		Command:       swarm.NodeBinaryCommand(workerBin),
+		ScrapeMetrics: true,
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+
+	res, err := swarm.Run(opts)
+	if res != nil {
+		fmt.Print(res.Render())
+	}
+	return err
+}

@@ -318,4 +318,13 @@ func init() {
 	register(Experiment{Name: "scale", Desc: "simulator capacity: bytes/node, event throughput, deadline rate vs N",
 		Flags: func(b *FlagBinder) { b.Sizes() },
 		Run:   func(o Options, p *Params) (Renderer, error) { return Scale(o, p.Sizes) }})
+	register(Experiment{Name: "swarm", Desc: "multi-process deployment: real UDP, discovery, crash-restart (one process per node)",
+		Flags: func(b *FlagBinder) { b.Fractions() },
+		Run: func(o Options, p *Params) (Renderer, error) {
+			kill := 0.0
+			if len(p.Fractions) > 0 {
+				kill = p.Fractions[0]
+			}
+			return Swarm(o, kill)
+		}})
 }

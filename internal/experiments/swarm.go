@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"pandas/internal/swarm"
+)
+
+// Swarm runs the multi-process deployment (internal/swarm) as a
+// registry experiment: it compiles the pandas-node worker binary from
+// the enclosing module, launches o.Nodes real worker processes plus a
+// builder process on localhost, drives o.Slots slots over real UDP
+// sockets, and harvests the outcomes into the simnet's schema so the
+// numbers line up with the in-process experiments. kill is the
+// per-slot fraction of worker processes killed mid-slot (0 disables
+// fault injection); victims are restarted by the supervisor and must
+// rejoin the live deployment.
+func Swarm(o Options, kill float64) (*swarm.Result, error) {
+	n := o.Nodes
+	if n == 0 {
+		// The simnet default of 1,000 nodes would mean 1,000 OS
+		// processes here; default to a single-machine-sized swarm.
+		n = 32
+	}
+	slots := o.Slots
+	if slots == 0 {
+		slots = 3
+	}
+	dir, err := os.MkdirTemp("", "pandas-swarm-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	fmt.Fprintln(os.Stderr, "swarm: building pandas-node worker binary...")
+	bin, err := swarm.BuildNodeBinary(dir)
+	if err != nil {
+		return nil, fmt.Errorf("build worker binary: %w", err)
+	}
+	return swarm.Run(swarm.Options{
+		N:             n,
+		Slots:         slots,
+		Seed:          o.Seed,
+		Geometry:      swarm.DefaultGeometry(),
+		KillFraction:  kill,
+		Command:       swarm.NodeBinaryCommand(bin),
+		ScrapeMetrics: true,
+	})
+}

@@ -1,0 +1,222 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParsePrometheus reads the text exposition format WritePrometheus
+// emits and reconstructs the snapshot — the scrape half of the
+// supervisor/worker metrics pipeline. It understands exactly the subset
+// WritePrometheus produces (counter, gauge, histogram; no labels other
+// than histogram le) and skips series it cannot classify rather than
+// failing, so a scrape never dies on a foreign metric.
+func ParsePrometheus(r io.Reader) (Snapshot, error) {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistSnapshot),
+	}
+	types := make(map[string]string)
+	// Histograms arrive as cumulative buckets; collect and de-accumulate
+	// at the end.
+	type histAcc struct {
+		bounds  []float64
+		cumul   []int64
+		infCum  int64
+		sum     float64
+		count   int64
+		hasInf  bool
+		ordered bool
+	}
+	hists := make(map[string]*histAcc)
+	acc := func(name string) *histAcc {
+		h := hists[name]
+		if h == nil {
+			h = &histAcc{ordered: true}
+			hists[name] = h
+		}
+		return h
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			// "# TYPE name kind"
+			if len(f) == 4 && f[1] == "TYPE" {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		series, value := line[:sp], line[sp+1:]
+
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			// Only histogram buckets carry labels in this format:
+			// name_bucket{le="X"} cum
+			name, ok := strings.CutSuffix(series[:i], "_bucket")
+			if !ok {
+				continue
+			}
+			label := series[i:]
+			if !strings.HasPrefix(label, `{le="`) || !strings.HasSuffix(label, `"}`) {
+				continue
+			}
+			le := label[len(`{le="`) : len(label)-len(`"}`)]
+			cum, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				continue
+			}
+			h := acc(name)
+			if le == "+Inf" {
+				h.infCum = cum
+				h.hasInf = true
+				continue
+			}
+			ub, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+			if len(h.bounds) > 0 && ub <= h.bounds[len(h.bounds)-1] {
+				h.ordered = false
+			}
+			h.bounds = append(h.bounds, ub)
+			h.cumul = append(h.cumul, cum)
+			continue
+		}
+
+		if name, ok := strings.CutSuffix(series, "_sum"); ok && types[name] == "histogram" {
+			if v, err := strconv.ParseFloat(value, 64); err == nil {
+				acc(name).sum = v
+			}
+			continue
+		}
+		if name, ok := strings.CutSuffix(series, "_count"); ok && types[name] == "histogram" {
+			if v, err := strconv.ParseInt(value, 10, 64); err == nil {
+				acc(name).count = v
+			}
+			continue
+		}
+
+		v, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			continue
+		}
+		switch types[series] {
+		case "counter":
+			s.Counters[series] = v
+		case "gauge":
+			s.Gauges[series] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return s, fmt.Errorf("obsv: scrape: %w", err)
+	}
+
+	for name, h := range hists {
+		if !h.ordered || !h.hasInf {
+			return s, fmt.Errorf("obsv: scrape: histogram %s has malformed buckets", name)
+		}
+		hs := HistSnapshot{
+			Bounds:  h.bounds,
+			Buckets: make([]int64, len(h.bounds)+1),
+			Count:   h.count,
+			Sum:     h.sum,
+		}
+		prev := int64(0)
+		for i, cum := range h.cumul {
+			if cum < prev {
+				return s, fmt.Errorf("obsv: scrape: histogram %s buckets not cumulative", name)
+			}
+			hs.Buckets[i] = cum - prev
+			prev = cum
+		}
+		if h.infCum < prev {
+			return s, fmt.Errorf("obsv: scrape: histogram %s buckets not cumulative", name)
+		}
+		hs.Buckets[len(hs.Buckets)-1] = h.infCum - prev
+		s.Histograms[name] = hs
+	}
+	return s, nil
+}
+
+// Merge folds other into a copy of s: counters and gauges add (a merged
+// gauge reads as a fleet total), histograms with identical bounds add
+// bucket-wise. Mismatched histogram shapes keep s's version. Neither
+// receiver nor argument is mutated.
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)+len(other.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)+len(other.Gauges)),
+		Histograms: make(map[string]HistSnapshot, len(s.Histograms)+len(other.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range other.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range other.Gauges {
+		out.Gauges[k] += v
+	}
+	for k, v := range s.Histograms {
+		out.Histograms[k] = copyHist(v)
+	}
+	for k, v := range other.Histograms {
+		cur, ok := out.Histograms[k]
+		if !ok {
+			out.Histograms[k] = copyHist(v)
+			continue
+		}
+		if !boundsEqual(cur.Bounds, v.Bounds) || len(cur.Buckets) != len(v.Buckets) {
+			continue
+		}
+		for i := range v.Buckets {
+			cur.Buckets[i] += v.Buckets[i]
+		}
+		cur.Count += v.Count
+		cur.Sum += v.Sum
+		out.Histograms[k] = cur
+	}
+	return out
+}
+
+func copyHist(h HistSnapshot) HistSnapshot {
+	return HistSnapshot{
+		Bounds:  append([]float64(nil), h.Bounds...),
+		Buckets: append([]int64(nil), h.Buckets...),
+		Count:   h.Count,
+		Sum:     h.Sum,
+	}
+}
+
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		// Bounds survive a float->text->float round trip exactly
+		// (strconv 'g' -1), so exact comparison is right; NaN never
+		// appears in bucket bounds.
+		if a[i] != b[i] || math.IsNaN(a[i]) != math.IsNaN(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,150 @@
+package obsv
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestScrapeRoundTrip is the core contract of the supervisor/worker
+// metrics pipeline: whatever WritePrometheus emits, ParsePrometheus
+// reconstructs exactly.
+func TestScrapeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("node_slots_completed_total").Add(7)
+	r.Counter("worker_restarts_total").Inc()
+	r.Gauge("swarm_workers_live").Set(64)
+	h := r.Histogram("node_sampling_seconds", DefaultLatencyBounds)
+	for _, v := range []float64{0.03, 0.3, 0.31, 1.1, 3.9, 11, 99} {
+		h.Observe(v)
+	}
+	want := r.Snapshot()
+
+	var buf bytes.Buffer
+	if err := want.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// The +Inf overflow sample (99) must land in the last bucket.
+	hs := got.Histograms["node_sampling_seconds"]
+	if hs.Buckets[len(hs.Buckets)-1] != 1 {
+		t.Fatalf("+Inf bucket = %d, want 1", hs.Buckets[len(hs.Buckets)-1])
+	}
+}
+
+// TestScrapeSkipsForeignSeries: lines the writer never produces (labels,
+// unknown types, junk values) are skipped, not fatal — a scrape must
+// survive a worker exposing extra series.
+func TestScrapeSkipsForeignSeries(t *testing.T) {
+	in := strings.Join([]string{
+		`# HELP something human text`,
+		`# TYPE go_goroutines gauge`,
+		`go_goroutines 12`,
+		`http_requests{code="200",method="get"} 5`, // labeled non-bucket: skip
+		`no_type_declared 3`,                       // unclassified: skip
+		`bad_value_counter abc`,                    // unparsable: skip
+		`# TYPE reqs counter`,
+		`reqs 41`,
+		``,
+	}, "\n")
+	s, err := ParsePrometheus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Gauges["go_goroutines"] != 12 || s.Counters["reqs"] != 41 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if len(s.Counters) != 1 || len(s.Gauges) != 1 || len(s.Histograms) != 0 {
+		t.Fatalf("foreign series leaked in: %+v", s)
+	}
+}
+
+func TestScrapeRejectsMalformedHistograms(t *testing.T) {
+	cases := map[string]string{
+		"missing +Inf": strings.Join([]string{
+			`# TYPE h histogram`,
+			`h_bucket{le="1"} 2`,
+			`h_sum 1.5`, `h_count 2`,
+		}, "\n"),
+		"non-cumulative": strings.Join([]string{
+			`# TYPE h histogram`,
+			`h_bucket{le="1"} 5`,
+			`h_bucket{le="2"} 3`,
+			`h_bucket{le="+Inf"} 5`,
+			`h_sum 1`, `h_count 5`,
+		}, "\n"),
+		"unsorted bounds": strings.Join([]string{
+			`# TYPE h histogram`,
+			`h_bucket{le="2"} 1`,
+			`h_bucket{le="1"} 2`,
+			`h_bucket{le="+Inf"} 2`,
+			`h_sum 1`, `h_count 2`,
+		}, "\n"),
+		"inf below last": strings.Join([]string{
+			`# TYPE h histogram`,
+			`h_bucket{le="1"} 4`,
+			`h_bucket{le="+Inf"} 2`,
+			`h_sum 1`, `h_count 4`,
+		}, "\n"),
+	}
+	for name, in := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parse accepted malformed histogram", name)
+		}
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	mk := func(completions int64, obs ...float64) Snapshot {
+		r := NewRegistry()
+		r.Counter("done_total").Add(completions)
+		r.Gauge("live").Set(1)
+		h := r.Histogram("lat_seconds", []float64{1, 2})
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	a, b := mk(3, 0.5, 1.5), mk(4, 1.7, 5)
+	aBefore, _ := a.Histograms["lat_seconds"], b
+	aCopy := copyHist(aBefore)
+
+	m := a.Merge(b)
+	if m.Counters["done_total"] != 7 || m.Gauges["live"] != 2 {
+		t.Fatalf("merged scalars: %+v", m)
+	}
+	h := m.Histograms["lat_seconds"]
+	if h.Count != 4 || !reflect.DeepEqual(h.Buckets, []int64{1, 2, 1}) {
+		t.Fatalf("merged histogram: %+v", h)
+	}
+	if math.Abs(h.Sum-8.7) > 1e-9 {
+		t.Fatalf("merged sum = %v", h.Sum)
+	}
+	// Merge must not mutate its receiver.
+	if !reflect.DeepEqual(a.Histograms["lat_seconds"], aCopy) {
+		t.Fatal("Merge mutated the receiver's histogram")
+	}
+
+	// Mismatched bounds keep the receiver's histogram untouched.
+	r := NewRegistry()
+	r.Histogram("lat_seconds", []float64{9}).Observe(100)
+	odd := r.Snapshot()
+	m2 := a.Merge(odd)
+	if !reflect.DeepEqual(m2.Histograms["lat_seconds"], aCopy) {
+		t.Fatalf("mismatched-bounds merge altered histogram: %+v", m2.Histograms["lat_seconds"])
+	}
+
+	// A histogram only present on one side carries over.
+	m3 := Snapshot{}.Merge(a)
+	if !reflect.DeepEqual(m3.Histograms["lat_seconds"], aCopy) {
+		t.Fatal("one-sided merge dropped histogram")
+	}
+}

@@ -1,0 +1,52 @@
+package swarm
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// NodeBinaryCommand returns a WorkerCommand that launches the
+// pandas-node binary at bin in swarm worker mode. The supervisor
+// appends the -swarm/-index flags itself.
+func NodeBinaryCommand(bin string) WorkerCommand {
+	return func(index int) *exec.Cmd {
+		return exec.Command(bin)
+	}
+}
+
+// BuildNodeBinary compiles cmd/pandas-node into dir and returns the
+// binary path. Used by pandas-swarm and the swarm experiment when no
+// prebuilt binary is supplied; requires running inside the module tree.
+func BuildNodeBinary(dir string) (string, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "pandas-node")
+	cmd := exec.Command("go", "build", "-o", bin, "pandas/cmd/pandas-node")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("swarm: build pandas-node: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("swarm: go.mod not found above %s (pass an explicit worker binary)", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,206 @@
+package swarm
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pandas/internal/wire"
+)
+
+// Control-channel tuning. UDP gives no delivery guarantee, so every
+// request is retried until its nonce-matched reply (WorkerConfig for
+// Hello, Ack for Report) arrives.
+const (
+	ctrlRetry   = 250 * time.Millisecond
+	ctrlRetries = 40 // 10 s worst case per request
+)
+
+var errControlTimeout = errors.New("swarm: control request timed out")
+
+// controlClient is the worker's half of the supervisor control channel:
+// one UDP socket dedicated to Hello/Config, Start/Ack, and Report/Ack
+// traffic, separate from the data-plane socket so protocol load cannot
+// starve control messages.
+type controlClient struct {
+	conn    *net.UDPConn
+	sup     *net.UDPAddr
+	onStart func(slot uint64)
+	// onConfig, when set, observes EVERY WorkerConfig (heartbeat replies
+	// included), independent of nonce matching — the worker uses it to
+	// keep merging bootstrap entries after registration.
+	onConfig func(*wire.WorkerConfig)
+
+	nonce atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Message
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// newControlClient binds a control socket and starts its read loop.
+// onStart is invoked (from the read loop) for each Start command; the
+// client acks Starts itself, so onStart must tolerate duplicates.
+// onConfig (optional) observes every WorkerConfig.
+func newControlClient(supervisor string, onStart func(slot uint64), onConfig func(*wire.WorkerConfig)) (*controlClient, error) {
+	sup, err := net.ResolveUDPAddr("udp", supervisor)
+	if err != nil {
+		return nil, fmt.Errorf("swarm: resolve supervisor %q: %w", supervisor, err)
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("swarm: bind control socket: %w", err)
+	}
+	c := &controlClient{
+		conn:     conn,
+		sup:      sup,
+		onStart:  onStart,
+		onConfig: onConfig,
+		pending:  make(map[uint64]chan wire.Message),
+		done:     make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *controlClient) readLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-c.done:
+				return
+			default:
+				continue
+			}
+		}
+		msg, err := wire.Decode(buf[:n], 0)
+		if err != nil {
+			continue
+		}
+		switch m := msg.(type) {
+		case *wire.WorkerConfig:
+			if c.onConfig != nil {
+				c.onConfig(m)
+			}
+			c.deliver(m.Nonce, m)
+		case *wire.Ack:
+			c.deliver(m.Nonce, m)
+		case *wire.Start:
+			// Ack immediately (the supervisor retries Starts until acked),
+			// then hand off; onStart deduplicates by slot.
+			c.send(&wire.Ack{Nonce: m.Nonce})
+			if c.onStart != nil {
+				c.onStart(m.Slot)
+			}
+		}
+	}
+}
+
+func (c *controlClient) deliver(nonce uint64, m wire.Message) {
+	c.mu.Lock()
+	ch := c.pending[nonce]
+	c.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- m:
+		default:
+		}
+	}
+}
+
+func (c *controlClient) send(m wire.Message) {
+	data, err := wire.Encode(m, 0)
+	if err != nil {
+		return
+	}
+	_, _ = c.conn.WriteToUDP(data, c.sup)
+}
+
+// request sends m (which must carry nonce) until a reply with the same
+// nonce arrives, retrying every ctrlRetry up to ctrlRetries times.
+func (c *controlClient) request(m wire.Message, nonce uint64) (wire.Message, error) {
+	ch := make(chan wire.Message, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errControlTimeout
+	}
+	c.pending[nonce] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, nonce)
+		c.mu.Unlock()
+	}()
+	for i := 0; i < ctrlRetries; i++ {
+		c.send(m)
+		select {
+		case reply := <-ch:
+			return reply, nil
+		case <-time.After(ctrlRetry):
+		case <-c.done:
+			return nil, errControlTimeout
+		}
+	}
+	return nil, errControlTimeout
+}
+
+// hello registers with the supervisor and blocks for the WorkerConfig
+// reply.
+func (c *controlClient) hello(h *wire.Hello) (*wire.WorkerConfig, error) {
+	h.Nonce = c.nonce.Add(1)
+	reply, err := c.request(h, h.Nonce)
+	if err != nil {
+		return nil, err
+	}
+	cfg, ok := reply.(*wire.WorkerConfig)
+	if !ok {
+		return nil, fmt.Errorf("swarm: hello reply is %T", reply)
+	}
+	return cfg, nil
+}
+
+// heartbeat sends a fire-and-forget Hello (no reply wait); the
+// supervisor treats any Hello as liveness.
+func (c *controlClient) heartbeat(h *wire.Hello) {
+	h.Nonce = c.nonce.Add(1)
+	c.send(h)
+}
+
+// report delivers a slot report and blocks until the supervisor acks it.
+func (c *controlClient) report(r *wire.Report) error {
+	r.Nonce = c.nonce.Add(1)
+	reply, err := c.request(r, r.Nonce)
+	if err != nil {
+		return err
+	}
+	if _, ok := reply.(*wire.Ack); !ok {
+		return fmt.Errorf("swarm: report reply is %T", reply)
+	}
+	return nil
+}
+
+// Close shuts the control socket down.
+func (c *controlClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}

@@ -1,0 +1,120 @@
+package swarm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"pandas/internal/core"
+	"pandas/internal/obsv"
+)
+
+// SlotResult is one slot's harvested outcome, in the simnet's schema:
+// Outcomes[i] is node i exactly as core.Cluster would report it, so
+// swarm numbers drop into the same EXPERIMENTS.md tables.
+type SlotResult struct {
+	Slot         uint64
+	Outcomes     []core.NodeOutcome
+	Reports      int // nodes that reported (dead workers leave gaps)
+	BuilderCells int
+	BuilderBytes int64
+	Restarts     int // worker restarts during this slot
+	Rejoined     int // restarted workers that re-acked the Start mid-slot
+}
+
+// DeadlineMet counts eligible nodes that finished sampling within d.
+// Eligible excludes nodes that were dead the whole slot and mid-slot
+// rejoiners (measured as catch-up, matching the simnet's EligibleAt
+// convention).
+func (sr SlotResult) DeadlineMet(d time.Duration) (met, eligible int) {
+	for _, oc := range sr.Outcomes {
+		if oc.Dead || oc.JoinedAt >= 0 {
+			continue
+		}
+		eligible++
+		if oc.Sampling >= 0 && oc.Sampling <= d {
+			met++
+		}
+	}
+	return met, eligible
+}
+
+// Result is a full swarm run.
+type Result struct {
+	N            int
+	Slots        int
+	Seed         int64
+	Geometry     Geometry
+	KillFraction float64
+
+	SlotResults   []SlotResult
+	TotalRestarts int
+
+	// Metrics is the merge of every worker's scraped Prometheus
+	// endpoint (empty unless Options.ScrapeMetrics).
+	Metrics obsv.Snapshot
+}
+
+// Render formats the run as the text table the pandas-swarm CLI prints.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "swarm: %d nodes + builder, %d slots, seed %d", r.N, r.Slots, r.Seed)
+	if r.KillFraction > 0 {
+		fmt.Fprintf(&b, ", kill %.0f%%/slot", r.KillFraction*100)
+	}
+	fmt.Fprintf(&b, "\n")
+	fmt.Fprintf(&b, "%-5s %-9s %-10s %-10s %-10s %-9s %-9s %-9s\n",
+		"slot", "reports", "deadline", "p50-sample", "p99-sample", "fetchmsgs", "restarts", "rejoined")
+	for _, sr := range r.SlotResults {
+		met, eligible := sr.DeadlineMet(r.Geometry.Deadline)
+		rate := "n/a"
+		if eligible > 0 {
+			rate = fmt.Sprintf("%.1f%%", 100*float64(met)/float64(eligible))
+		}
+		var samples []time.Duration
+		fetch := 0
+		for _, oc := range sr.Outcomes {
+			if oc.Sampling >= 0 {
+				samples = append(samples, oc.Sampling)
+			}
+			fetch += oc.FetchMsgs
+		}
+		fmt.Fprintf(&b, "%-5d %-9s %-10s %-10s %-10s %-9d %-9d %-9d\n",
+			sr.Slot,
+			fmt.Sprintf("%d/%d", sr.Reports, r.N),
+			rate,
+			fmtDur(percentile(samples, 0.50)),
+			fmtDur(percentile(samples, 0.99)),
+			fetch,
+			sr.Restarts,
+			sr.Rejoined)
+	}
+	fmt.Fprintf(&b, "total restarts: %d\n", r.TotalRestarts)
+	if len(r.Metrics.Counters) > 0 {
+		fmt.Fprintf(&b, "merged worker metrics: %d slots completed, %d incomplete, %d restarts recorded\n",
+			r.Metrics.Counters["node_slots_completed_total"],
+			r.Metrics.Counters["node_slots_incomplete_total"],
+			r.Metrics.Counters["worker_restarts_total"])
+	}
+	return b.String()
+}
+
+// percentile returns the p-quantile of ds (-1 when empty).
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return -1
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(math.Ceil(p * float64(len(sorted)-1)))
+	return sorted[i]
+}
+
+func fmtDur(d time.Duration) string {
+	if d < 0 {
+		return "n/a"
+	}
+	return d.Round(time.Millisecond).String()
+}

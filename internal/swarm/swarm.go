@@ -1,0 +1,151 @@
+// Package swarm is the multi-process deployment runtime: a supervisor
+// that launches N pandas-node worker processes on localhost, distributes
+// per-node configuration over a UDP control protocol, lets the workers
+// discover each other's sockets discv5-style from a small bootstrap set,
+// then drives slots end-to-end over real UDP — builder seeding,
+// custody consolidation, and sampling all travel through the kernel's
+// network stack instead of the in-process simnet.
+//
+// The supervisor owns robustness and observability:
+//
+//   - crash detection via process exit plus Hello-heartbeat timeouts,
+//     with exponential-backoff restart;
+//   - kill/restart fault injection on a per-slot schedule (victims drawn
+//     by the adversary package's deterministic sortition, applied at
+//     process granularity);
+//   - per-slot outcome harvest over the same UDP control channel,
+//     merged into the simnet's core.NodeOutcome schema so swarm and
+//     simulation results land in one table;
+//   - optional scraping of each worker's obsv metrics endpoint.
+//
+// The wire formats live in internal/wire (Hello/WorkerConfig/Start/
+// Report/Ack for the control plane, FindPeers/Peers for discovery); the
+// dynamic peer table lives in internal/transport.
+package swarm
+
+import (
+	"time"
+
+	"pandas/internal/assign"
+	"pandas/internal/blob"
+	"pandas/internal/core"
+	"pandas/internal/ids"
+	"pandas/internal/wire"
+)
+
+// EnvRestarts is the environment variable the supervisor sets on
+// relaunched workers: how many times this index has been restarted.
+const EnvRestarts = "PANDAS_SWARM_RESTARTS"
+
+// Geometry is the slot geometry the supervisor distributes to workers.
+// It is the swarm-sized analogue of core.Config: small enough that a
+// fleet of real processes completes slots well inside the deadline.
+type Geometry struct {
+	K          int // base matrix size (extended is 2K x 2K)
+	Custody    int // rows and columns per node
+	Samples    int
+	CellBytes  int
+	Redundancy int
+	SeedWait   time.Duration
+	Deadline   time.Duration
+}
+
+// DefaultGeometry returns the swarm default: a 16x16 extended matrix
+// with 4+4 custody lines — the localnet test geometry, dense enough
+// that every line has multiple holders at a few dozen nodes.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		K:          8,
+		Custody:    4,
+		Samples:    6,
+		CellBytes:  64,
+		Redundancy: 4,
+		SeedWait:   400 * time.Millisecond,
+		Deadline:   4 * time.Second,
+	}
+}
+
+// CoreConfig expands the geometry into a validated core.Config with
+// real payloads.
+func (g Geometry) CoreConfig() (core.Config, error) {
+	cfg := core.DefaultConfig()
+	cfg.Blob = blob.Params{K: g.K, CellBytes: g.CellBytes, ProofBytes: 48}
+	cfg.Assign = assign.Params{Rows: g.Custody, Cols: g.Custody, N: cfg.Blob.N()}
+	cfg.Samples = g.Samples
+	cfg.Redundancy = g.Redundancy
+	if g.SeedWait > 0 {
+		cfg.SeedWait = g.SeedWait
+	}
+	if g.Deadline > 0 {
+		cfg.Deadline = g.Deadline
+	}
+	cfg.RealPayloads = true
+	return cfg, cfg.Validate()
+}
+
+// toWire packs the geometry into the WorkerConfig control message.
+func (g Geometry) toWire(m *wire.WorkerConfig) {
+	m.K = uint16(g.K)
+	m.Custody = uint16(g.Custody)
+	m.Samples = uint16(g.Samples)
+	m.CellBytes = uint16(g.CellBytes)
+	m.Redundancy = uint16(g.Redundancy)
+	m.SeedWaitMs = uint32(g.SeedWait / time.Millisecond)
+	m.DeadlineMs = uint32(g.Deadline / time.Millisecond)
+}
+
+// geometryFromWire unpacks a WorkerConfig into a Geometry.
+func geometryFromWire(m *wire.WorkerConfig) Geometry {
+	return Geometry{
+		K:          int(m.K),
+		Custody:    int(m.Custody),
+		Samples:    int(m.Samples),
+		CellBytes:  int(m.CellBytes),
+		Redundancy: int(m.Redundancy),
+		SeedWait:   time.Duration(m.SeedWaitMs) * time.Millisecond,
+		Deadline:   time.Duration(m.DeadlineMs) * time.Millisecond,
+	}
+}
+
+// Deterministic shared identities: every worker derives the same table
+// from the deployment seed, mirroring an ENR crawl that has converged
+// (and matching cmd/pandas-node's static-peers mode, so a swarm node and
+// a hand-launched node agree on who is who).
+
+// DeriveNodeIDs returns the n participant identities for a seed.
+func DeriveNodeIDs(seed int64, n int) []ids.NodeID {
+	out := make([]ids.NodeID, n)
+	for i := range out {
+		out[i] = ids.NewTestIdentity(seed<<16 + int64(i)).ID
+	}
+	return out
+}
+
+// DeriveProposer returns the deployment's proposer identity.
+func DeriveProposer(seed int64) *ids.Identity {
+	return ids.NewTestIdentity(seed<<16 + 999)
+}
+
+// DeriveBuilderID returns the builder's identity for an n-node swarm.
+func DeriveBuilderID(seed int64, n int) ids.NodeID {
+	return ids.NewTestIdentity(seed<<16 + int64(n) + 3).ID
+}
+
+// NewTableFromSeed derives the shared assignment table for an n-node
+// deployment.
+func NewTableFromSeed(cfg core.Config, seed int64, n int) (*core.Table, error) {
+	var epochSeed assign.Seed
+	epochSeed[0] = byte(seed)
+	epochSeed[1] = byte(seed >> 8)
+	return core.NewTable(cfg.Assign, epochSeed, DeriveNodeIDs(seed, n))
+}
+
+// FillerBlob returns the deterministic layer-2 filler data builders
+// seed (the same pattern cmd/pandas-node uses).
+func FillerBlob(cfg core.Config) []byte {
+	data := make([]byte, cfg.Blob.BlobBytes())
+	for i := range data {
+		data[i] = byte(i*131 + 7)
+	}
+	return data
+}

@@ -1,0 +1,231 @@
+package swarm
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"pandas/internal/wire"
+)
+
+// envWorker re-executes the test binary as a swarm worker: the
+// supervisor tests spawn REAL child processes without needing a
+// prebuilt pandas-node (the standard helper-process pattern).
+const envWorker = "PANDAS_SWARM_WORKER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(envWorker) == "1" {
+		fs := flag.NewFlagSet("swarm-test-worker", flag.ExitOnError)
+		sup := fs.String("swarm", "", "supervisor address")
+		index := fs.Int("index", -1, "worker index")
+		_ = fs.Parse(os.Args[1:])
+		err := RunWorker(WorkerOptions{
+			Supervisor: *sup,
+			Index:      *index,
+			Restarts:   RestartsFromEnv(),
+			Log:        os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swarm-test-worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// testGeometry is dense enough for a handful of processes: an 8x8
+// extended matrix with 4+4 custody lines means every line has ~N/2
+// holders even at N=6, so sampling never starves for peers (the default
+// geometry wants a few dozen nodes for that).
+func testGeometry() Geometry {
+	return Geometry{
+		K:          4,
+		Custody:    4,
+		Samples:    4,
+		CellBytes:  64,
+		Redundancy: 4,
+		SeedWait:   300 * time.Millisecond,
+		Deadline:   4 * time.Second,
+	}
+}
+
+// selfCommand launches this test binary in worker mode.
+func selfCommand(t *testing.T) WorkerCommand {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(index int) *exec.Cmd {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), envWorker+"=1")
+		return cmd
+	}
+}
+
+// testLog routes supervisor/worker diagnostics to stderr only under
+// -v, keeping quiet CI runs quiet.
+func testLog() io.Writer {
+	if testing.Verbose() {
+		return os.Stderr
+	}
+	return io.Discard
+}
+
+// TestSwarmEndToEnd is the tentpole's acceptance path in miniature: 6
+// node processes plus a builder process bootstrap from 3 peers,
+// discover the full table over UDP, then complete two real slots —
+// seeding, consolidation, and sampling all across process boundaries.
+func TestSwarmEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	res, err := Run(Options{
+		N:             6,
+		Slots:         2,
+		Seed:          77,
+		Geometry:      testGeometry(),
+		BootstrapSize: 3,
+		Command:       selfCommand(t),
+		Log:           testLog(),
+		ScrapeMetrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SlotResults) != 2 {
+		t.Fatalf("got %d slot results", len(res.SlotResults))
+	}
+	for _, sr := range res.SlotResults {
+		if sr.Reports < res.N {
+			t.Errorf("slot %d: only %d/%d nodes reported", sr.Slot, sr.Reports, res.N)
+		}
+		if sr.BuilderCells == 0 {
+			t.Errorf("slot %d: builder reported no seeded cells", sr.Slot)
+		}
+		sampled := 0
+		for _, oc := range sr.Outcomes {
+			if oc.Sampling >= 0 {
+				sampled++
+			}
+		}
+		if sampled < res.N-1 {
+			t.Errorf("slot %d: only %d/%d nodes sampled", sr.Slot, sampled, res.N)
+		}
+		met, eligible := sr.DeadlineMet(res.Geometry.Deadline)
+		if eligible == 0 || met < eligible-1 {
+			t.Errorf("slot %d: deadline met %d/%d", sr.Slot, met, eligible)
+		}
+	}
+	if res.TotalRestarts != 0 {
+		t.Errorf("unexpected restarts: %d", res.TotalRestarts)
+	}
+	// The scrape must have harvested real per-worker metrics.
+	if res.Metrics.Counters["node_slots_completed_total"] == 0 {
+		t.Errorf("merged metrics missing completions: %+v", res.Metrics.Counters)
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+// TestSwarmKillRestart injects process kills mid-slot and checks the
+// supervisor restarts the victims, they rejoin the live deployment,
+// and by the final slot the whole swarm reports again.
+func TestSwarmKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	res, err := Run(Options{
+		N:            6,
+		Slots:        3,
+		Seed:         99,
+		Geometry:     testGeometry(),
+		KillFraction: 0.34, // 2 of 6 nodes per slot
+		KillDelay:    50 * time.Millisecond,
+		Command:      selfCommand(t),
+		Log:          testLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRestarts < 2 {
+		t.Fatalf("expected kill injection to force restarts, got %d", res.TotalRestarts)
+	}
+	// Every slot after the first must see previously-killed workers back
+	// in action: the last slot's report count is the recovery check.
+	last := res.SlotResults[len(res.SlotResults)-1]
+	if last.Reports < res.N-1 {
+		t.Errorf("final slot: only %d/%d nodes reported after restarts", last.Reports, res.N)
+	}
+	sampled := 0
+	for _, oc := range last.Outcomes {
+		if oc.Sampling >= 0 {
+			sampled++
+		}
+	}
+	if sampled < res.N-2 {
+		t.Errorf("final slot: only %d/%d nodes sampled after restarts", sampled, res.N)
+	}
+	rejoins := 0
+	for _, sr := range res.SlotResults {
+		rejoins += sr.Rejoined
+	}
+	t.Logf("restarts=%d rejoins=%d\n%s", res.TotalRestarts, rejoins, res.Render())
+}
+
+func TestGeometryWireRoundTrip(t *testing.T) {
+	g := Geometry{K: 16, Custody: 2, Samples: 73, CellBytes: 512, Redundancy: 6,
+		SeedWait: 250 * time.Millisecond, Deadline: 7 * time.Second}
+	var m wire.WorkerConfig
+	g.toWire(&m)
+	if got := geometryFromWire(&m); got != g {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, g)
+	}
+}
+
+func TestDeriveIdentitiesMatchAcrossCalls(t *testing.T) {
+	a := DeriveNodeIDs(42, 8)
+	b := DeriveNodeIDs(42, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d identity unstable", i)
+		}
+	}
+	if DeriveBuilderID(42, 8) == a[0] {
+		t.Fatal("builder identity collides with node 0")
+	}
+	g := DefaultGeometry()
+	cfg, err := g.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := NewTableFromSeed(cfg, 42, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumNodes() != 8 {
+		t.Fatalf("table size %d", tbl.NumNodes())
+	}
+}
+
+func TestRenderEmptyAndPercentile(t *testing.T) {
+	r := &Result{N: 4, Slots: 1, Geometry: DefaultGeometry()}
+	r.SlotResults = []SlotResult{{Slot: 1}}
+	if out := r.Render(); out == "" {
+		t.Fatal("empty render")
+	}
+	if got := percentile(nil, 0.5); got != -1 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	ds := []time.Duration{3, 1, 2}
+	if got := percentile(ds, 0.5); got != 2 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(ds, 0.99); got != 3 {
+		t.Fatalf("p99 = %v", got)
+	}
+}

@@ -154,3 +154,161 @@ func TestLocalnetSlotEndToEnd(t *testing.T) {
 		t.Fatalf("node 0 line %v incomplete: %d/%d", l, count, cfg.Blob.N())
 	}
 }
+
+// TestSetPeersRebindConsistency is the regression test for the
+// stale-entry hazard: after the peer table shrinks or an index is
+// rebound to a new address, datagrams from the OLD address must no
+// longer resolve (and certainly not to the wrong index), while the new
+// binding must resolve immediately — even with the receive loop live.
+func TestSetPeersRebindConsistency(t *testing.T) {
+	a, err := NewUDP(0, "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Two sender sockets: old and new homes for peer index 1.
+	oldHome, err := NewUDP(1, "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oldHome.Close()
+	newHome, err := NewUDP(1, "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer newHome.Close()
+
+	from := make(chan int, 4)
+	a.Start(func(f, size int, payload any) { from <- f })
+
+	send := func(src *UDP) {
+		q := &wire.Query{Slot: 1}
+		src.Send(0, q.WireSize(64), q)
+	}
+	wire3 := []string{a.Addr(), oldHome.Addr(), newHome.Addr()}
+	for _, src := range []*UDP{oldHome, newHome} {
+		if err := src.SetPeers(wire3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Initially index 1 lives at oldHome; index 2 at newHome.
+	if err := a.SetPeers(wire3); err != nil {
+		t.Fatal(err)
+	}
+	send(oldHome)
+	if got := <-from; got != 1 {
+		t.Fatalf("before rebind: from = %d, want 1", got)
+	}
+
+	// Rebind: table SHRINKS to two entries and index 1 moves to
+	// newHome's address. The old address must go stale atomically.
+	if err := a.SetPeers([]string{a.Addr(), newHome.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	send(newHome)
+	if got := <-from; got != 1 {
+		t.Fatalf("after rebind: from = %d, want 1", got)
+	}
+	send(oldHome) // stale sender: must be dropped
+	select {
+	case got := <-from:
+		t.Fatalf("stale address delivered as index %d", got)
+	case <-time.After(150 * time.Millisecond):
+	}
+}
+
+func TestAddPeerGrowAndRebind(t *testing.T) {
+	a, err := NewUDP(0, "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.SetPeers([]string{a.Addr(), ""}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Known(); got != 1 {
+		t.Fatalf("known = %d, want 1", got)
+	}
+	// Fill the sparse slot, then grow past the table end.
+	if err := a.AddPeer(1, "127.0.0.1:40100"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddPeer(5, "127.0.0.1:40101"); err != nil {
+		t.Fatal(err)
+	}
+	peers := a.Peers()
+	if len(peers) != 6 || peers[1] != "127.0.0.1:40100" || peers[5] != "127.0.0.1:40101" {
+		t.Fatalf("peers = %v", peers)
+	}
+	// Rebind index 1 to a fresh address: the old one must vanish.
+	if err := a.AddPeer(1, "127.0.0.1:40102"); err != nil {
+		t.Fatal(err)
+	}
+	if i, ok := a.table.Load().lookup("127.0.0.1:40100"); ok {
+		t.Fatalf("stale address still resolves to %d", i)
+	}
+	// Move index 5's address onto index 2: index 5 must lose it.
+	if err := a.AddPeer(2, "127.0.0.1:40101"); err != nil {
+		t.Fatal(err)
+	}
+	peers = a.Peers()
+	if peers[2] != "127.0.0.1:40101" || peers[5] != "" {
+		t.Fatalf("after address move: peers = %v", peers)
+	}
+	if i, _ := a.table.Load().lookup("127.0.0.1:40101"); i != 2 {
+		t.Fatalf("moved address resolves to %d, want 2", i)
+	}
+}
+
+func TestUnknownSenderHandler(t *testing.T) {
+	a, err := NewUDP(0, "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDP(1, "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.SetPeers([]string{a.Addr()}); err != nil { // b unknown to a
+		t.Fatal(err)
+	}
+	if err := b.SetPeers([]string{a.Addr(), b.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan *net.UDPAddr, 1)
+	a.SetUnknownSender(func(raddr *net.UDPAddr, size int, payload any) {
+		if _, ok := payload.(*wire.FindPeers); ok {
+			got <- raddr
+		}
+	})
+	reply := make(chan *wire.Peers, 1)
+	a.Start(func(from, size int, payload any) {})
+	b.Start(func(from, size int, payload any) {
+		if p, ok := payload.(*wire.Peers); ok {
+			reply <- p
+		}
+	})
+	fp := &wire.FindPeers{Nonce: 1, Index: 1, Addr: b.Addr()}
+	b.Send(0, fp.WireSize(64), fp)
+	select {
+	case raddr := <-got:
+		if raddr.String() != b.Addr() {
+			t.Fatalf("raddr = %v, want %v", raddr, b.Addr())
+		}
+		// And the reverse path: reply to the not-yet-registered sender.
+		a.SendToAddr(raddr, &wire.Peers{Nonce: 1})
+		select {
+		case p := <-reply:
+			if p.Nonce != 1 {
+				t.Fatalf("reply nonce = %d", p.Nonce)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("SendToAddr reply never arrived")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("unknown-sender datagram never surfaced")
+	}
+}

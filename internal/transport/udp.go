@@ -7,6 +7,12 @@
 // The transport satisfies core.Transport. Each endpoint owns a
 // single-threaded event loop, so the (deliberately lock-free) core.Node
 // state machine runs exactly as it does on the simulator's event loop.
+//
+// The peer table is dynamic: it can start sparse (addresses unknown) and
+// be filled in or rebound while the endpoint is live — the substrate the
+// swarm runtime's discovery crawl builds on. Lookups go through an
+// immutable snapshot swapped atomically, so the receive loop never sees
+// a half-rebuilt table.
 package transport
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pandas/internal/wire"
@@ -22,13 +29,30 @@ import (
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("transport: closed")
 
+// peerTable is an immutable peer-table snapshot: addrs[i] is peer i's
+// address (nil = unknown), index inverts it. Updates build a fresh table
+// and swap it atomically, so the index can never hold an entry for an
+// address that was shrunk away or rebound to another peer — the
+// stale-entry hazard of mutating the map in place.
+type peerTable struct {
+	addrs []*net.UDPAddr
+	index map[string]int
+}
+
+func (t *peerTable) lookup(addr string) (int, bool) {
+	if t == nil {
+		return 0, false
+	}
+	i, ok := t.index[addr]
+	return i, ok
+}
+
 // UDP is one node's transport endpoint.
 type UDP struct {
 	self      int
 	cellBytes int
 	conn      *net.UDPConn
-	peers     []*net.UDPAddr
-	addrIndex map[string]int
+	table     atomic.Pointer[peerTable]
 	start     time.Time
 
 	events  chan func()
@@ -36,14 +60,24 @@ type UDP struct {
 	wg      sync.WaitGroup
 	handler func(from, size int, payload any)
 
-	mu     sync.Mutex
-	closed bool
+	// unknown receives decoded datagrams from senders absent from the
+	// peer table (discovery traffic from late joiners); nil drops them.
+	unknown atomic.Pointer[func(raddr *net.UDPAddr, size int, payload any)]
+
+	// linkPolicy is a test hook interposed on outgoing datagrams to
+	// inject loss and reordering; nil sends directly.
+	linkPolicy atomic.Pointer[func(to int, data []byte) (drop bool, delay time.Duration)]
+
+	mu      sync.Mutex // serializes Close and peer-table writers
+	closed  bool
+	started bool
 }
 
 // NewUDP binds a UDP endpoint. bind is this node's listen address
 // ("127.0.0.1:0" picks a port); peers will be filled in later with
-// SetPeers once every participant's address is known. cellBytes is the
-// cell payload size for the wire codec.
+// SetPeers/AddPeer once participants' addresses are known. cellBytes is
+// the cell payload size for the wire codec (settable until Start via
+// SetCellBytes when it is not yet known at bind time).
 func NewUDP(self int, bind string, cellBytes int) (*UDP, error) {
 	addr, err := net.ResolveUDPAddr("udp", bind)
 	if err != nil {
@@ -57,9 +91,8 @@ func NewUDP(self int, bind string, cellBytes int) (*UDP, error) {
 		self:      self,
 		cellBytes: cellBytes,
 		conn:      conn,
-		addrIndex: make(map[string]int),
 		start:     time.Now(),
-		events:    make(chan func(), 1024),
+		events:    make(chan func(), 4096),
 		done:      make(chan struct{}),
 	}, nil
 }
@@ -67,26 +100,149 @@ func NewUDP(self int, bind string, cellBytes int) (*UDP, error) {
 // Addr returns the bound address (host:port).
 func (u *UDP) Addr() string { return u.conn.LocalAddr().String() }
 
-// SetPeers installs the peer table: peers[i] is node i's address. Must be
-// called before Start.
+// SetCellBytes fixes the wire codec's cell payload size. It must be
+// called before Start; the swarm worker uses it because the geometry
+// arrives over the control channel after the socket is bound.
+func (u *UDP) SetCellBytes(n int) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.started {
+		panic("transport: SetCellBytes after Start")
+	}
+	u.cellBytes = n
+}
+
+// SetPeers installs the peer table: addrs[i] is node i's address, where
+// an empty string marks a peer whose address is not yet known (sends to
+// it are dropped until AddPeer fills it in). Safe to call while the
+// endpoint is live: the table is rebuilt from scratch and swapped
+// atomically, so shrinking the table or rebinding an index to a new
+// address never leaves a stale address mapped to the wrong peer.
 func (u *UDP) SetPeers(addrs []string) error {
-	u.peers = make([]*net.UDPAddr, len(addrs))
-	u.addrIndex = make(map[string]int, len(addrs))
+	t := &peerTable{
+		addrs: make([]*net.UDPAddr, len(addrs)),
+		index: make(map[string]int, len(addrs)),
+	}
 	for i, a := range addrs {
+		if a == "" {
+			continue
+		}
 		ua, err := net.ResolveUDPAddr("udp", a)
 		if err != nil {
 			return fmt.Errorf("transport: resolve peer %d %q: %w", i, a, err)
 		}
-		u.peers[i] = ua
-		u.addrIndex[ua.String()] = i
+		t.addrs[i] = ua
+		t.index[ua.String()] = i
 	}
+	u.mu.Lock()
+	u.table.Store(t)
+	u.mu.Unlock()
 	return nil
+}
+
+// AddPeer binds index i to addr, growing the table if needed. If i was
+// previously bound to a different address, the old mapping is removed
+// (a restarted peer rebinding its index to a fresh socket); if addr was
+// previously bound to a different index, that index loses the address.
+// Safe to call concurrently with the receive loop.
+func (u *UDP) AddPeer(i int, addr string) error {
+	if i < 0 {
+		return fmt.Errorf("transport: add peer: negative index %d", i)
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolve peer %d %q: %w", i, addr, err)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	old := u.table.Load()
+	n := i + 1
+	if old != nil && len(old.addrs) > n {
+		n = len(old.addrs)
+	}
+	t := &peerTable{addrs: make([]*net.UDPAddr, n), index: make(map[string]int, n)}
+	if old != nil {
+		copy(t.addrs, old.addrs)
+		for a, j := range old.index {
+			t.index[a] = j
+		}
+	}
+	key := ua.String()
+	if prev := t.addrs[i]; prev != nil && t.index[prev.String()] == i {
+		delete(t.index, prev.String())
+	}
+	if j, ok := t.index[key]; ok && j != i && j < len(t.addrs) {
+		// The address moved between indexes; the displaced peer keeps no
+		// claim on it.
+		t.addrs[j] = nil
+	}
+	t.addrs[i] = ua
+	t.index[key] = i
+	u.table.Store(t)
+	return nil
+}
+
+// Peers returns a snapshot of the peer table as strings (empty = entry
+// unknown). The result is a private copy.
+func (u *UDP) Peers() []string {
+	t := u.table.Load()
+	if t == nil {
+		return nil
+	}
+	out := make([]string, len(t.addrs))
+	for i, a := range t.addrs {
+		if a != nil {
+			out[i] = a.String()
+		}
+	}
+	return out
+}
+
+// Known returns how many peer-table entries have addresses.
+func (u *UDP) Known() int {
+	t := u.table.Load()
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, a := range t.addrs {
+		if a != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// SetUnknownSender installs a handler for decoded datagrams whose sender
+// is not in the peer table; it runs on the event loop like the main
+// handler. The swarm discovery plane uses it to serve FindPeers from
+// late joiners before they are registered.
+func (u *UDP) SetUnknownSender(h func(raddr *net.UDPAddr, size int, payload any)) {
+	if h == nil {
+		u.unknown.Store(nil)
+		return
+	}
+	u.unknown.Store(&h)
+}
+
+// SetLinkPolicy interposes a test hook on every outgoing datagram: drop
+// suppresses it, a positive delay defers the socket write (out-of-order
+// delivery). A nil policy restores direct sends.
+func (u *UDP) SetLinkPolicy(p func(to int, data []byte) (drop bool, delay time.Duration)) {
+	if p == nil {
+		u.linkPolicy.Store(nil)
+		return
+	}
+	u.linkPolicy.Store(&p)
 }
 
 // Start launches the receive and event loops; handler receives decoded
 // protocol messages on the event loop.
 func (u *UDP) Start(handler func(from, size int, payload any)) {
+	u.mu.Lock()
 	u.handler = handler
+	u.started = true
+	u.mu.Unlock()
 	u.wg.Add(2)
 	go u.eventLoop()
 	go u.receiveLoop()
@@ -126,9 +282,14 @@ func (u *UDP) receiveLoop() {
 			}
 			continue
 		}
-		from, ok := u.addrIndex[raddr.String()]
-		if !ok {
-			continue // unknown sender
+		from, known := u.table.Load().lookup(raddr.String())
+		var unknownH func(*net.UDPAddr, int, any)
+		if !known {
+			hp := u.unknown.Load()
+			if hp == nil {
+				continue // unknown sender, no discovery plane
+			}
+			unknownH = *hp
 		}
 		msg, err := wire.Decode(buf[:n], u.cellBytes)
 		if err != nil {
@@ -136,6 +297,10 @@ func (u *UDP) receiveLoop() {
 		}
 		size := n + wire.OverheadIPUDP
 		u.Run(func() {
+			if !known {
+				unknownH(raddr, size, msg)
+				return
+			}
 			if u.handler != nil {
 				u.handler(from, size, msg)
 			}
@@ -147,7 +312,8 @@ func (u *UDP) receiveLoop() {
 // Errors (unknown peer, encode failure) are dropped silently, matching
 // UDP's fire-and-forget semantics.
 func (u *UDP) Send(to int, size int, payload any) {
-	if to < 0 || to >= len(u.peers) {
+	t := u.table.Load()
+	if t == nil || to < 0 || to >= len(t.addrs) || t.addrs[to] == nil {
 		return
 	}
 	msg, ok := payload.(wire.Message)
@@ -158,7 +324,32 @@ func (u *UDP) Send(to int, size int, payload any) {
 	if err != nil {
 		return
 	}
-	_, _ = u.conn.WriteToUDP(data, u.peers[to])
+	if pp := u.linkPolicy.Load(); pp != nil {
+		drop, delay := (*pp)(to, data)
+		if drop {
+			return
+		}
+		if delay > 0 {
+			addr := t.addrs[to]
+			time.AfterFunc(delay, func() { _, _ = u.conn.WriteToUDP(data, addr) })
+			return
+		}
+	}
+	_, _ = u.conn.WriteToUDP(data, t.addrs[to])
+}
+
+// SendToAddr transmits a message directly to a UDP address that need not
+// be in the peer table (discovery replies to not-yet-registered peers).
+func (u *UDP) SendToAddr(addr *net.UDPAddr, payload any) {
+	msg, ok := payload.(wire.Message)
+	if !ok {
+		return
+	}
+	data, err := wire.Encode(msg, u.cellBytes)
+	if err != nil {
+		return
+	}
+	_, _ = u.conn.WriteToUDP(data, addr)
 }
 
 // SendReliable implements core.Transport. Real UDP offers no reliability
@@ -183,9 +374,12 @@ func (u *UDP) Close() error {
 		return ErrClosed
 	}
 	u.closed = true
+	started := u.started
 	u.mu.Unlock()
 	close(u.done)
 	err := u.conn.Close()
-	u.wg.Wait()
+	if started {
+		u.wg.Wait()
+	}
 	return err
 }

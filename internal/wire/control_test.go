@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// controlMessages returns one populated instance of every swarm
+// control/discovery message.
+func controlMessages() []Message {
+	return []Message{
+		&Hello{Slot: 3, Nonce: 77, Index: 5, Ready: true, Known: 9,
+			DataAddr: "127.0.0.1:40001", MetricsAddr: "127.0.0.1:40002"},
+		&Hello{Nonce: 1, Index: 0, DataAddr: "127.0.0.1:40003"},
+		&WorkerConfig{Nonce: 77, Index: 5, NumNodes: 64, Seed: -42,
+			K: 8, Custody: 4, Samples: 6, CellBytes: 64, Redundancy: 4,
+			SeedWaitMs: 400, DeadlineMs: 4000,
+			Bootstrap: []PeerEntry{{Index: 0, Addr: "127.0.0.1:40010"}, {Index: 64, Addr: "127.0.0.1:40011"}}},
+		&Start{Slot: 2, Nonce: 99},
+		&Report{Slot: 2, Nonce: 100, Index: 5, HasSeed: true, Consolidated: true, Sampled: true,
+			FirstSeedUs: 120_000, ConsolidatedUs: 900_000, SampledUs: 1_400_000,
+			SeedCells: 64, FetchMsgs: 31, FetchBytes: 18_000, CorruptRejects: 1, Restarts: 2},
+		&Report{Slot: 2, Nonce: 101, Index: 64, Builder: true, SeedCells: 1024,
+			FirstSeedUs: -1, ConsolidatedUs: -1, SampledUs: -1},
+		&Ack{Nonce: 100},
+		&FindPeers{Nonce: 7, Index: 5, Addr: "127.0.0.1:40001"},
+		&Peers{Nonce: 7, Entries: []PeerEntry{{Index: 0, Addr: "127.0.0.1:40010"},
+			{Index: 1, Addr: "127.0.0.1:40012"}, {Index: 64, Addr: "127.0.0.1:40011"}}},
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	for _, m := range controlMessages() {
+		data, err := Encode(m, 0)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", m, err)
+		}
+		if want := m.WireSize(0) - OverheadIPUDP; len(data) != want {
+			t.Errorf("%T: encoded %d bytes, WireSize says %d", m, len(data), want)
+		}
+		got, err := Decode(data, 0)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		// Empty decoded slices come back non-nil with zero length; normalize.
+		if wc, ok := got.(*WorkerConfig); ok && len(wc.Bootstrap) == 0 {
+			wc.Bootstrap = nil
+		}
+		if p, ok := got.(*Peers); ok && len(p.Entries) == 0 {
+			p.Entries = nil
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%T: round trip mismatch:\n want %+v\n got  %+v", m, m, got)
+		}
+	}
+}
+
+func TestControlTruncationRejected(t *testing.T) {
+	for _, m := range controlMessages() {
+		data, err := Encode(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 9; cut < len(data); cut++ {
+			if _, err := Decode(data[:cut], 0); err == nil {
+				t.Fatalf("%T: truncation to %d bytes accepted", m, cut)
+			}
+		}
+	}
+}
+
+func TestControlAddrTooLong(t *testing.T) {
+	long := strings.Repeat("x", MaxAddrLen+1)
+	for _, m := range []Message{
+		&Hello{DataAddr: long},
+		&Hello{MetricsAddr: long},
+		&FindPeers{Addr: long},
+		&WorkerConfig{Bootstrap: []PeerEntry{{Addr: long}}},
+		&Peers{Entries: []PeerEntry{{Addr: long}}},
+	} {
+		if _, err := Encode(m, 0); !errors.Is(err, ErrAddrTooLong) {
+			t.Errorf("%T: oversized address: err = %v", m, err)
+		}
+	}
+}
+
+// TestControlIgnoresCellBytes pins that the control plane decodes
+// identically regardless of the cellBytes the endpoint was configured
+// with: control datagrams may arrive on the data socket.
+func TestControlIgnoresCellBytes(t *testing.T) {
+	m := &Hello{Nonce: 5, Index: 2, DataAddr: "127.0.0.1:1"}
+	data, err := Encode(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("cellBytes-dependent decode: %+v", got)
+	}
+}

@@ -24,6 +24,12 @@ func FuzzDecode(f *testing.F) {
 	if data, err := Encode(s, 64); err == nil {
 		f.Add(data)
 	}
+	// Swarm control/discovery messages (control.go).
+	for _, m := range controlMessages() {
+		if data, err := Encode(m, 64); err == nil {
+			f.Add(data)
+		}
+	}
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
 

@@ -199,7 +199,12 @@ func Encode(m Message, cellBytes int) ([]byte, error) {
 			buf = appendCell(buf, c, cellBytes)
 		}
 	default:
-		return nil, fmt.Errorf("%w: %T", ErrBadType, m)
+		// Swarm control/discovery messages (see control.go).
+		cbuf, err := encodeControl(m)
+		if err != nil {
+			return nil, err
+		}
+		buf = cbuf
 	}
 	if len(buf) > 65507 { // max UDP payload
 		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(buf))
@@ -304,7 +309,8 @@ func Decode(data []byte, cellBytes int) (Message, error) {
 		}
 		return m, nil
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrBadType, typ)
+		// Swarm control/discovery messages (see control.go).
+		return decodeControl(typ, slot, r)
 	}
 }
 

@@ -22,10 +22,14 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (membership, core, fetch, blob, rs, gf65536, kzg, obsv, transport, wire, adversary, gateway, simnet)"
+echo "== go test -race (membership, core, fetch, blob, rs, gf65536, kzg, obsv, transport, wire, adversary, gateway, simnet, swarm)"
 go test -race ./internal/membership ./internal/core ./internal/fetch \
 	./internal/blob ./internal/rs ./internal/gf65536 ./internal/kzg \
 	./internal/obsv ./internal/transport ./internal/wire \
-	./internal/adversary ./internal/gateway ./internal/simnet
+	./internal/adversary ./internal/gateway ./internal/simnet \
+	./internal/swarm
+
+echo "== swarm smoke (8 processes, 1 slot, real UDP)"
+go run ./cmd/pandas-swarm -n 8 -k 4 -samples 4 -slots 1 -timeout 90s -q
 
 echo "verify: OK"
